@@ -1,0 +1,122 @@
+// Ablation — the paper's stated model extensions, exercised over a horizon:
+//  (a) nonlinear (increasing-block) electricity tariffs (Sec. 2.1), and
+//  (b) a peak facility-power cap (Sec. 3.1).
+//
+// Both keep Algorithm 1 untouched — only the per-slot engine changes — which
+// is exactly the paper's claim that the analysis is "not restricted to a
+// linear electricity cost function" and that "additional constraints, such
+// as peak power ... can also be incorporated".
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "opt/tiered_solver.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace coca;
+
+  sim::ScenarioConfig config = bench::default_scenario_config();
+  config.hours = std::min<std::size_t>(config.hours, 2'190);  // one quarter
+  const auto scenario = sim::build_scenario(config);
+  opt::SlotWeights weights = scenario.weights;
+  weights.V = 1.0;
+
+  bench::banner("Extension (a)",
+                "increasing-block tariff vs flat price over a quarter");
+  bench::scenario_summary(scenario);
+
+  // Flat reference and a two-block tariff whose first block covers ~75% of
+  // the flat optimum's typical hourly usage.
+  double typical_kwh = 0.0;
+  {
+    opt::LadderSolver solver;
+    double total = 0.0;
+    for (std::size_t t = 0; t < 168; ++t) {
+      const opt::SlotInput input{scenario.env.workload[t],
+                                 scenario.env.onsite_kw[t],
+                                 scenario.env.price[t]};
+      total += solver.solve(scenario.fleet, input, weights).outcome.brown_kwh;
+    }
+    typical_kwh = total / 168.0;
+  }
+
+  struct TariffCase {
+    const char* name;
+    double second_block_multiplier;
+  };
+  util::Table tariff_table({"tariff", "total cost ($)", "energy (MWh)",
+                            "hours in upper block", "hours pinned at boundary"});
+  for (const TariffCase& c :
+       {TariffCase{"flat", 1.0}, TariffCase{"2nd block 2x", 2.0},
+        TariffCase{"2nd block 4x", 4.0}, TariffCase{"2nd block 8x", 8.0}}) {
+    double cost = 0.0, energy = 0.0;
+    int upper = 0, pinned = 0;
+    for (std::size_t t = 0; t < scenario.env.slots(); ++t) {
+      const double base_price = scenario.env.price[t];
+      const energy::TieredTariff tariff =
+          c.second_block_multiplier == 1.0
+              ? energy::TieredTariff::flat(base_price)
+              : energy::TieredTariff(
+                    {{typical_kwh * 0.75, base_price},
+                     {energy::TieredTariff::Tier{}.upto_kwh,
+                      base_price * c.second_block_multiplier}});
+      const opt::SlotInput input{scenario.env.workload[t],
+                                 scenario.env.onsite_kw[t], base_price};
+      const auto result =
+          opt::solve_tiered_slot(scenario.fleet, input, weights, tariff);
+      cost += result.solution.outcome.total_cost;
+      energy += result.solution.outcome.brown_kwh;
+      if (result.active_tier > 0) ++upper;
+      if (result.boundary) ++pinned;
+    }
+    tariff_table.add_row({std::string(c.name), cost, energy / 1000.0,
+                          static_cast<double>(upper),
+                          static_cast<double>(pinned)});
+  }
+  bench::emit(tariff_table);
+  std::cout << "\nreading: steeper upper blocks push more hours onto the "
+               "block boundary (demand flattening) and shave total energy — "
+               "the convex-tariff behaviour Sec. 2.1 anticipates.\n";
+
+  bench::banner("Extension (b)", "peak facility-power cap over a quarter");
+  util::Table cap_table({"cap (% of uncapped peak)", "total cost ($)",
+                         "peak power (MW)", "capped hours", "dropped caps"});
+  // Uncapped reference peak.
+  double uncapped_peak = 0.0;
+  {
+    opt::LadderSolver solver;
+    for (std::size_t t = 0; t < scenario.env.slots(); ++t) {
+      const opt::SlotInput input{scenario.env.workload[t],
+                                 scenario.env.onsite_kw[t],
+                                 scenario.env.price[t]};
+      uncapped_peak = std::max(
+          uncapped_peak,
+          solver.solve(scenario.fleet, input, weights).outcome.facility_power_kw);
+    }
+  }
+  for (double fraction : {1.0, 0.95, 0.90, 0.85}) {
+    const double cap = uncapped_peak * fraction;
+    double cost = 0.0, peak = 0.0;
+    int binding = 0, dropped = 0;
+    for (std::size_t t = 0; t < scenario.env.slots(); ++t) {
+      const opt::SlotInput input{scenario.env.workload[t],
+                                 scenario.env.onsite_kw[t],
+                                 scenario.env.price[t]};
+      const auto result =
+          opt::solve_power_capped(scenario.fleet, input, weights, cap);
+      cost += result.solution.outcome.total_cost;
+      peak = std::max(peak, result.solution.outcome.facility_power_kw);
+      if (result.multiplier > 0.0) ++binding;
+      if (result.cap_dropped) ++dropped;
+    }
+    cap_table.add_row({fraction * 100.0, cost, peak / 1000.0,
+                       static_cast<double>(binding),
+                       static_cast<double>(dropped)});
+  }
+  bench::emit(cap_table);
+  std::cout << "\nreading: the cap binds only during workload peaks; cost "
+               "rises gently as the cap tightens because the solver absorbs "
+               "the cut as extra delay on the hottest hours.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation — GSD scalability and design choices (extends Sec. 4.2 / 5.2.3).
+//
+// Sweeps (a) the group-batching granularity: solution quality and wall-clock
+// of 500 GSD iterations as the number of groups grows (the paper's
+// complexity-reduction knob), and (b) the temperature schedule: fixed deltas
+// vs the adaptive schedule the paper recommends ("a small delta is initially
+// chosen ... increased over the iterations").
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "opt/gsd.hpp"
+#include "opt/ladder_solver.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace coca;
+
+  bench::banner("Ablation", "GSD group granularity and temperature schedule");
+
+  // (a) group-count sweep at a fixed snapshot slot.
+  util::Table groups_table({"groups", "GSD best / ladder", "accept rate",
+                            "500 iters wall (s)"});
+  for (std::size_t groups : {25u, 50u, 100u, 200u, 400u}) {
+    sim::ScenarioConfig config;
+    config.hours = 200;
+    config.fleet.group_count = groups;
+    const auto scenario = sim::build_scenario(config);
+    const std::size_t t = 150;
+    const opt::SlotInput input{scenario.env.workload[t],
+                               scenario.env.onsite_kw[t],
+                               scenario.env.price[t]};
+    opt::SlotWeights weights = scenario.weights;
+    weights.V = 1.0;
+
+    const auto ladder = opt::LadderSolver().solve(scenario.fleet, input, weights);
+    opt::GsdConfig gsd;
+    gsd.iterations = 500;
+    gsd.delta = 1e6;
+    gsd.seed = 5;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = opt::GsdSolver(gsd).solve(scenario.fleet, input, weights);
+    const auto stop = std::chrono::steady_clock::now();
+    groups_table.add_row(
+        {static_cast<double>(groups),
+         result.best.outcome.objective / ladder.outcome.objective,
+         static_cast<double>(result.accepted) / 500.0,
+         std::chrono::duration<double>(stop - start).count()});
+  }
+  bench::emit(groups_table);
+  std::cout << "\nreading: more groups = finer control but a larger search "
+               "space per iteration budget; 200 groups (the paper's choice) "
+               "stays close to the ladder optimum within 500 iterations.\n\n";
+
+  // (b) temperature schedules at the paper's 200-group granularity.
+  sim::ScenarioConfig config;
+  config.hours = 200;
+  config.fleet.group_count = 200;
+  const auto scenario = sim::build_scenario(config);
+  const opt::SlotInput input{scenario.env.workload[150],
+                             scenario.env.onsite_kw[150],
+                             scenario.env.price[150]};
+  opt::SlotWeights weights = scenario.weights;
+  weights.V = 1.0;
+  const auto ladder = opt::LadderSolver().solve(scenario.fleet, input, weights);
+
+  util::Table schedule_table({"schedule", "best / ladder", "kept / ladder",
+                              "accept rate"});
+  struct Schedule {
+    const char* name;
+    opt::GsdConfig config;
+  };
+  opt::GsdConfig fixed_low, fixed_high, adaptive;
+  fixed_low.iterations = fixed_high.iterations = adaptive.iterations = 500;
+  fixed_low.delta = 1e2;
+  fixed_high.delta = 1e6;
+  adaptive.adaptive = true;
+  adaptive.delta_initial = 1e4;
+  adaptive.delta_growth = 1.02;
+  for (const auto& schedule :
+       {Schedule{"fixed delta=1e2", fixed_low},
+        Schedule{"fixed delta=1e6", fixed_high},
+        Schedule{"adaptive 1e4 x 1.02^k", adaptive}}) {
+    auto gsd = schedule.config;
+    gsd.seed = 9;
+    const auto result = opt::GsdSolver(gsd).solve(scenario.fleet, input, weights);
+    schedule_table.add_row(
+        {std::string(schedule.name),
+         result.best.outcome.objective / ladder.outcome.objective,
+         result.solution.outcome.objective / ladder.outcome.objective,
+         static_cast<double>(result.accepted) / 500.0});
+  }
+  bench::emit(schedule_table);
+  std::cout << "\nreading: low temperature wanders (worse kept solution); "
+               "the adaptive schedule (Sec. 4.2's advisory approach) explores "
+               "early and concentrates late, approaching the fixed "
+               "high-temperature quality without hand-tuning delta.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation — the T-step lookahead benchmark family (P2, Sec. 3.2).
+//
+// Theorem 2 compares COCA against the optimal offline algorithm with T-slot
+// lookahead.  This bench sweeps the lookahead window T and reports the
+// oracle's cost (1/R * sum G_r^*), quantifying how much future information
+// is actually worth on this workload — and locating COCA (at a neutrality-
+// calibrated V) relative to the whole family.
+
+#include <iostream>
+
+#include "baselines/lookahead.hpp"
+#include "bench_common.hpp"
+#include "core/calibration.hpp"
+
+int main() {
+  using namespace coca;
+
+  sim::ScenarioConfig config = bench::default_scenario_config();
+  config.hours = std::min<std::size_t>(config.hours, 4'368);  // half year
+  const auto scenario = sim::build_scenario(config);
+
+  bench::banner("P2 / Theorem 2 benchmark",
+                "optimal T-step lookahead cost vs window size");
+  bench::scenario_summary(scenario);
+
+  const auto v_star = core::calibrate_v(
+      [&](double v) {
+        return sim::run_coca_constant_v(scenario, v).metrics.total_brown_kwh();
+      },
+      scenario.budget.total_allowance(),
+      {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 12});
+  const auto coca = sim::run_coca_constant_v(scenario, v_star.v);
+  const double coca_avg = coca.metrics.average_cost();
+
+  util::Table table({"lookahead T (h)", "frames R", "oracle avg cost ($/h)",
+                     "COCA / oracle", "frames missing budget"});
+  for (std::size_t raw_window : {24u, 168u, 730u, 2184u, 4368u}) {
+    const std::size_t window =
+        std::min<std::size_t>(raw_window, scenario.env.slots());
+    if (window < raw_window && raw_window != 4368u) continue;  // dedupe clamps
+    const auto result = baselines::solve_lookahead(
+        scenario.fleet, scenario.env.workload.values(),
+        scenario.env.onsite_kw.values(), scenario.env.price.values(),
+        scenario.budget, scenario.weights, window);
+    std::size_t missed = 0;
+    for (bool met : result.frame_budget_met) missed += !met;
+    const double oracle_avg =
+        result.total_cost / static_cast<double>(scenario.env.slots());
+    table.add_row({static_cast<double>(window),
+                   static_cast<double>(result.frame_costs.size()), oracle_avg,
+                   coca_avg / oracle_avg, static_cast<double>(missed)});
+  }
+  bench::emit(table);
+  std::cout << "\nCOCA (V = " << v_star.v << ") avg cost: " << coca_avg
+            << " $/h\n";
+  std::cout << "\nreading: short windows force the oracle to respect a per-"
+               "frame budget split (alpha*f_r + Z/R), which can be "
+               "infeasible or expensive during workload surges; longer "
+               "lookahead relaxes this.  COCA, with *no* future information, "
+               "lands within a modest factor of even the full-horizon "
+               "oracle — the content of Theorem 2(b).\n";
+  return 0;
+}

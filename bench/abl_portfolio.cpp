@@ -1,0 +1,59 @@
+// Ablation (Sec. 5.2.4, text) — renewable portfolio composition.
+//
+// Paper: "with different combinations of off-site renewables and RECs (but
+// with the same total amount), COCA achieves almost the same cost (less than
+// 1% change), indicating that COCA is not sensitive to renewable energy
+// portfolios, but rather mainly depends on the total budget."
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/calibration.hpp"
+#include "core/coca_controller.hpp"
+
+int main() {
+  using namespace coca;
+
+  const auto scenario = sim::build_scenario(bench::default_scenario_config());
+  bench::banner("Sec. 5.2.4 ablation",
+                "off-site renewables vs RECs mix at a fixed total budget");
+  bench::scenario_summary(scenario);
+
+  auto calibrated_run = [&](const energy::CarbonBudget& budget) {
+    sim::Environment env = scenario.env;
+    env.offsite_kwh = budget.offsite();
+    auto run_at = [&](double v) {
+      core::CocaConfig config;
+      config.weights = scenario.weights;
+      config.alpha = budget.alpha();
+      config.rec_per_slot = budget.rec_per_slot();
+      config.schedule = core::VSchedule::constant(v);
+      core::CocaController controller(scenario.fleet, config);
+      return sim::run_simulation(scenario.fleet, env, controller,
+                                 scenario.weights);
+    };
+    const auto v_star = core::calibrate_v(
+        [&](double v) { return run_at(v).metrics.total_brown_kwh(); },
+        budget.total_allowance(), {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 12});
+    return run_at(v_star.v);
+  };
+
+  const auto base = calibrated_run(scenario.budget);
+  const double base_cost = base.metrics.average_cost();
+
+  util::Table table({"offsite share", "REC share", "avg hourly cost ($)",
+                     "cost change (%)", "usage (% allowance)"});
+  for (double share : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const auto result = calibrated_run(scenario.budget.with_mix(share));
+    table.add_row({share, 1.0 - share, result.metrics.average_cost(),
+                   100.0 * (result.metrics.average_cost() / base_cost - 1.0),
+                   100.0 * result.metrics.total_brown_kwh() /
+                       scenario.budget.total_allowance()});
+  }
+  bench::emit(table);
+  std::cout << "\npaper shape: cost varies by ~1% across mixes — only the "
+               "total budget matters.  (RECs smooth the allowance evenly over "
+               "time; off-site renewables deliver it intermittently, which "
+               "the deficit queue absorbs.)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation — robustness to inaccurate hour-ahead workload knowledge.
+//
+// The paper assumes lambda(t) is accurately available at the start of each
+// slot but claims robustness: "our simulation results further demonstrate
+// the robustness of COCA against inaccurate knowledge of workload arrival
+// rates" (Sec. 2.3) and lists it among the sensitivity results (Sec. 1:
+// "COCA is robust against various factors").  This bench injects symmetric
+// multiplicative prediction error into the planning trace (the controller
+// provisions on the noisy forecast; the simulator bills the true workload,
+// falling back to the emergency all-on configuration when an underestimate
+// leaves too little capacity) and measures the cost penalty.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/calibration.hpp"
+#include "workload/transforms.hpp"
+
+int main() {
+  using namespace coca;
+
+  const auto scenario = sim::build_scenario(bench::default_scenario_config());
+  bench::banner("Sec. 2.3 robustness",
+                "COCA under inaccurate hour-ahead workload prediction");
+  bench::scenario_summary(scenario);
+
+  auto run_with_error = [&](double error, std::uint64_t seed) {
+    sim::Scenario noisy = scenario;
+    noisy.env = scenario.env.with_planning(workload::with_prediction_error(
+        scenario.env.workload, error, seed));
+    const auto v_star = core::calibrate_v(
+        [&](double v) {
+          return sim::run_coca_constant_v(noisy, v).metrics.total_brown_kwh();
+        },
+        scenario.budget.total_allowance(),
+        {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 12});
+    return sim::run_coca_constant_v(noisy, v_star.v);
+  };
+
+  const auto exact = run_with_error(0.0, 1);
+  util::Table table({"prediction error (+/-)", "avg hourly cost ($)",
+                     "cost increase (%)", "fallback slots",
+                     "usage (% allowance)"});
+  for (double error : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    const auto result = error == 0.0 ? exact : run_with_error(error, 1);
+    table.add_row(
+        {error, result.metrics.average_cost(),
+         100.0 * (result.metrics.total_cost() / exact.metrics.total_cost() -
+                  1.0),
+         static_cast<double>(result.infeasible_slots),
+         100.0 * result.metrics.total_brown_kwh() /
+             scenario.budget.total_allowance()});
+  }
+  bench::emit(table);
+  std::cout << "\npaper claim: COCA is robust against inaccurate knowledge of "
+               "workload arrival rates — the cost penalty stays within a few "
+               "percent because under-provisioned slots are re-balanced at "
+               "runtime (higher delay) and over-provisioned slots trade "
+               "electricity for delay, while the deficit queue keeps the "
+               "annual energy on budget either way.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation — REC procurement strategies (Sec. 2.2's "various approaches to
+// purchasing RECs, e.g., dynamic purchase in real time").
+//
+// Compares, over a year with a volatile spot REC market:
+//   (a) the paper's default: the full block Z purchased up-front;
+//   (b) fully dynamic: Z = 0, the drift-plus-penalty threshold policy buys
+//       spot RECs whenever alpha*q(t) > V*c(t);
+//   (c) hybrid: half the block up-front, the rest bought dynamically.
+// Reported: operational cost, REC spend, total, and the carbon account.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/calibration.hpp"
+#include "core/rec_policy.hpp"
+#include "energy/price.hpp"
+
+int main() {
+  using namespace coca;
+
+  sim::ScenarioConfig config = bench::default_scenario_config();
+  const auto scenario = sim::build_scenario(config);
+  const std::size_t hours = scenario.env.slots();
+
+  bench::banner("Sec. 2.2 procurement",
+                "up-front vs dynamic vs hybrid REC purchasing");
+  bench::scenario_summary(scenario);
+
+  // Spot REC market: mean ~$6/MWh-equivalent, strongly volatile (spot REC
+  // prices swing far more than wholesale electricity).
+  energy::PriceConfig rec_config;
+  rec_config.hours = hours;
+  rec_config.base_price = 0.006;
+  rec_config.noise_sigma = 0.35;
+  rec_config.noise_persistence = 0.9;
+  rec_config.spike_probability = 0.001;
+  rec_config.floor_price = 0.001;
+  rec_config.seed = 777;
+  const auto spot = energy::make_price_trace(rec_config);
+  std::cout << "spot REC market: mean " << spot.mean() * 1000.0
+            << " $/MWh, min " << 1000.0 * *std::min_element(
+                                              spot.values().begin(),
+                                              spot.values().end())
+            << ", max " << spot.peak() * 1000.0 << " $/MWh\n\n";
+
+  const double z_full = scenario.budget.recs_kwh();
+  const double upfront_price = spot.mean();  // forward contracts price at ~mean
+
+  struct Strategy {
+    const char* name;
+    double upfront_fraction;
+  };
+  util::Table table({"strategy", "ops cost ($/h)", "REC spend ($)",
+                     "ops+RECs ($)", "RECs bought (MWh)", "usage-offsets (MWh)"});
+  for (const Strategy& strategy :
+       {Strategy{"all up-front (paper)", 1.0},
+        Strategy{"hybrid 50/50", 0.5},
+        Strategy{"fully dynamic", 0.0}}) {
+    const double z_upfront = z_full * strategy.upfront_fraction;
+    const double z_per_slot = scenario.budget.alpha() * z_upfront /
+                              static_cast<double>(hours);
+
+    // Calibrate V against the *up-front* portion of the budget; dynamic
+    // purchases then cover what the queue cannot.
+    auto run_once = [&](double v) {
+      core::CocaConfig coca_config;
+      coca_config.weights = scenario.weights;
+      coca_config.schedule = core::VSchedule::constant(v);
+      coca_config.alpha = scenario.budget.alpha();
+      coca_config.rec_per_slot = z_per_slot;
+      core::RecMarketConfig market{spot, 0.0, 10'000.0};
+      auto controller = std::make_unique<core::DynamicRecCocaController>(
+          scenario.fleet, coca_config, market);
+      auto result = sim::run_simulation(scenario.fleet, scenario.env,
+                                        *controller, scenario.weights);
+      return std::pair(std::move(controller), std::move(result));
+    };
+    const auto v_star = core::calibrate_v(
+        [&](double v) {
+          auto [controller, result] = run_once(v);
+          // Count only usage not covered by offsets (incl. dynamic buys).
+          return result.metrics.total_brown_kwh() -
+                 scenario.budget.alpha() * controller->total_purchased_kwh();
+        },
+        scenario.budget.alpha() *
+            (scenario.budget.offsite().total() + z_upfront),
+        {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 10});
+    auto [controller, result] = run_once(v_star.v);
+
+    const double rec_spend = controller->total_spend() +
+                             z_upfront * upfront_price;
+    const double offsets =
+        scenario.budget.alpha() *
+        (scenario.budget.offsite().total() + z_upfront +
+         controller->total_purchased_kwh());
+    table.add_row({std::string(strategy.name), result.metrics.average_cost(),
+                   rec_spend, result.metrics.total_cost() + rec_spend,
+                   (z_upfront + controller->total_purchased_kwh()) / 1000.0,
+                   (result.metrics.total_brown_kwh() - offsets) / 1000.0});
+  }
+  bench::emit(table);
+  std::cout << "\nreading: dynamic procurement buys only what the realized "
+               "deficit needs (often less than the pre-committed Z) and "
+               "times purchases into cheap spot windows, at the price of "
+               "carrying a longer deficit queue; the threshold alpha*q > V*c "
+               "is the drift-plus-penalty optimal rule, so Algorithm 1's "
+               "guarantees carry over.\n";
+  return 0;
+}

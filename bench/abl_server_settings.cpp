@@ -1,0 +1,124 @@
+// Ablation — server settings (the Sec. 5.2.4 studies "omitted due to space
+// limitations"): DVFS ladder richness and fleet heterogeneity.
+//
+// (a) DVFS richness: restrict every server to a subset of its speed levels
+//     (2 = on/off-ish, 4 = the measured Opteron ladder) or interpolate a
+//     denser 8-level ladder, and measure the calibrated-COCA cost.
+// (b) Heterogeneity: sweep the generation speed/power spread from a
+//     homogeneous fleet to a strongly mixed one at fixed total capacity.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/calibration.hpp"
+
+namespace {
+
+using namespace coca;
+
+/// Opteron-like spec with a chosen number of levels: 2 keeps {min, max},
+/// 4 is the measured ladder, 8 linearly interpolates between the measured
+/// points (frequency, rate and dynamic power all interpolated).
+dc::ServerSpec spec_with_levels(std::size_t levels) {
+  const dc::ServerSpec base = dc::ServerSpec::opteron2380();
+  std::vector<dc::SpeedLevel> out;
+  if (levels == 2) {
+    out = {base.level(0), base.level(3)};
+  } else if (levels == 4) {
+    out = base.levels();
+  } else {
+    for (std::size_t k = 0; k + 1 < base.level_count(); ++k) {
+      const auto& a = base.level(k);
+      const auto& b = base.level(k + 1);
+      out.push_back(a);
+      out.push_back({0.5 * (a.frequency_ghz + b.frequency_ghz),
+                     0.5 * (a.service_rate + b.service_rate),
+                     0.5 * (a.dynamic_power_kw + b.dynamic_power_kw)});
+    }
+    out.push_back(base.level(base.level_count() - 1));
+  }
+  return dc::ServerSpec("opteron-" + std::to_string(out.size()) + "lvl",
+                        base.static_power_kw(), std::move(out));
+}
+
+double calibrated_cost(const dc::Fleet& fleet, const sim::Scenario& base,
+                       double* usage_norm) {
+  sim::Scenario scenario = base;
+  scenario.fleet = fleet;
+  const auto v_star = core::calibrate_v(
+      [&](double v) {
+        return sim::run_coca_constant_v(scenario, v).metrics.total_brown_kwh();
+      },
+      scenario.budget.total_allowance(),
+      {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 10});
+  const auto run = sim::run_coca_constant_v(scenario, v_star.v);
+  if (usage_norm) {
+    *usage_norm = run.metrics.total_brown_kwh() /
+                  scenario.budget.total_allowance();
+  }
+  return run.metrics.average_cost();
+}
+
+}  // namespace
+
+int main() {
+  sim::ScenarioConfig config = bench::default_scenario_config();
+  config.hours = std::min<std::size_t>(config.hours, 2'190);
+  config.fleet.group_count = 12;
+  const auto base = sim::build_scenario(config);
+
+  bench::banner("Server settings (a)", "DVFS ladder richness");
+  bench::scenario_summary(base);
+  util::Table dvfs({"DVFS levels", "avg hourly cost ($)", "vs 4-level (%)",
+                    "usage/allowance"});
+  double four_level_cost = 0.0;
+  for (std::size_t levels : {2u, 4u, 8u}) {
+    std::vector<dc::ServerGroup> groups;
+    const std::size_t per =
+        base.fleet.total_servers() / config.fleet.group_count;
+    for (std::size_t g = 0; g < config.fleet.group_count; ++g) {
+      groups.emplace_back(spec_with_levels(levels), per);
+    }
+    const dc::Fleet fleet((std::vector<dc::ServerGroup>(groups)));
+    double usage = 0.0;
+    const double cost = calibrated_cost(fleet, base, &usage);
+    if (levels == 4) four_level_cost = cost;
+    dvfs.add_row({static_cast<double>(levels), cost,
+                  four_level_cost > 0.0
+                      ? 100.0 * (cost / four_level_cost - 1.0)
+                      : 0.0,
+                  usage});
+  }
+  bench::emit(dvfs);
+  std::cout << "\nreading: the ladders tie — under energy pressure the "
+               "jointly optimal operating point always sits on the top speed "
+               "(static power dominates, so p_s/a* amortization favors the "
+               "fastest level), making the number of intermediate P-states "
+               "irrelevant for this cost structure.  The knob that matters "
+               "is how many servers are on, not how fast the ones that are "
+               "on run — the paper's on/off + DVFS decision collapses "
+               "toward right-sizing on this hardware.\n\n";
+
+  bench::banner("Server settings (b)", "fleet heterogeneity spread");
+  util::Table hetero({"speed spread", "power spread", "avg hourly cost ($)",
+                      "usage/allowance"});
+  for (double spread : {0.0, 0.1, 0.2, 0.35}) {
+    dc::FleetConfig fc = config.fleet;
+    fc.speed_spread = spread;
+    fc.power_spread = spread * 0.7;
+    const auto fleet = dc::make_default_fleet(fc);
+    double usage = 0.0;
+    const double cost = calibrated_cost(fleet, base, &usage);
+    hetero.add_row({spread, spread * 0.7, cost, usage});
+  }
+  bench::emit(hetero);
+  std::cout << "\nreading: at a fixed server count, an older mix is simply "
+               "a worse fleet (less capacity, more W per request), so cost "
+               "rises with the spread; COCA limits the damage by parking the "
+               "least-efficient generations first (see the ladder's merit "
+               "order and the PreferredGenerationsActivatedFirst test).  "
+               "This per-generation treatment is exactly the server-level "
+               "heterogeneous management the paper contrasts against the "
+               "homogeneous data-center-level knob of [23, 24].\n";
+  return 0;
+}

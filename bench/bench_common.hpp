@@ -1,0 +1,68 @@
+#pragma once
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench binary prints (a) a banner naming the paper artifact it
+// regenerates, (b) the scenario parameters, and (c) the figure's series as
+// an aligned table (machine-parseable via the CSV block that follows it).
+//
+// Environment knobs (all optional):
+//   COCA_BENCH_HOURS   horizon in hourly slots   (default 8760 = the paper's year)
+//   COCA_BENCH_GROUPS  fleet group granularity   (default 16 for year sweeps)
+//   COCA_BENCH_CSV     set to 1 to also print raw CSV blocks
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sim/scenario.hpp"
+#include "util/table.hpp"
+
+namespace coca::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (!value) return fallback;
+  const unsigned long parsed = std::strtoul(value, nullptr, 10);
+  return parsed > 0 ? parsed : fallback;
+}
+
+inline bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value && value[0] == '1';
+}
+
+/// The paper-default year-long scenario, with env overrides for quick runs.
+inline sim::ScenarioConfig default_scenario_config() {
+  sim::ScenarioConfig config;
+  config.hours = env_size("COCA_BENCH_HOURS", coca::workload::kHoursPerYear);
+  config.fleet.group_count = env_size("COCA_BENCH_GROUPS", 16);
+  return config;
+}
+
+inline void banner(const std::string& artifact, const std::string& what) {
+  std::cout << "\n==========================================================\n"
+            << "Reproducing " << artifact << " — " << what << "\n"
+            << "==========================================================\n";
+}
+
+inline void scenario_summary(const sim::Scenario& scenario) {
+  std::cout << "scenario: " << scenario.env.workload.name() << " workload, "
+            << scenario.env.slots() << " hourly slots, "
+            << scenario.fleet.total_servers() << " servers in "
+            << scenario.fleet.group_count() << " groups, peak "
+            << scenario.fleet.peak_power_kw() / 1000.0 << " MW\n"
+            << "carbon budget: " << scenario.budget.total_allowance() / 1000.0
+            << " MWh allowance (" << scenario.config.budget_fraction * 100.0
+            << "% of carbon-unaware usage "
+            << scenario.unaware_brown_kwh / 1000.0 << " MWh)\n";
+}
+
+inline void emit(const util::Table& table) {
+  table.print(std::cout);
+  if (env_flag("COCA_BENCH_CSV")) {
+    std::cout << "\n-- csv --\n";
+    table.print_csv(std::cout);
+  }
+}
+
+}  // namespace coca::bench

@@ -1,0 +1,76 @@
+#pragma once
+// Shared driver for Fig. 5(a)/(b): normalized cost vs carbon budget for
+// COCA (V calibrated per budget), the optimal offline algorithm OPT, and the
+// carbon-unaware baseline, on a configurable workload trace.
+//
+// Normalization follows the paper: energy budgets are expressed relative to
+// the carbon-unaware algorithm's annual electricity usage (= 1.0), and costs
+// relative to the carbon-unaware average cost.
+
+#include <iostream>
+#include <vector>
+
+#include "baselines/offline_opt.hpp"
+#include "bench_common.hpp"
+#include "core/calibration.hpp"
+
+namespace coca::bench {
+
+inline void run_budget_sweep(sim::WorkloadKind workload,
+                             const std::vector<double>& budget_fractions) {
+  sim::ScenarioConfig config = default_scenario_config();
+  config.workload = workload;
+  const auto base_scenario = sim::build_scenario(config);
+  scenario_summary(base_scenario);
+
+  const auto unaware = sim::run_carbon_unaware(
+      base_scenario.fleet, base_scenario.env, base_scenario.weights);
+  const double unaware_cost = unaware.metrics.average_cost();
+  const double unaware_usage = unaware.metrics.total_brown_kwh();
+  std::cout << "carbon-unaware reference: usage "
+            << unaware_usage / 1000.0 << " MWh (normalized 1.0), avg cost "
+            << unaware_cost << " $/h (normalized 1.0)\n\n";
+
+  util::Table table({"budget (norm)", "COCA cost (norm)", "OPT cost (norm)",
+                     "unaware cost (norm)", "COCA neutral?", "COCA V",
+                     "COCA usage (norm)"});
+  for (double fraction : budget_fractions) {
+    const double allowance = unaware_usage * fraction;
+    const auto budget = base_scenario.budget.rescaled_to_allowance(allowance);
+    sim::Scenario scenario = base_scenario;
+    scenario.budget = budget;
+    scenario.env.offsite_kwh = budget.offsite();
+
+    // COCA with V chosen so neutrality is satisfied (paper's methodology).
+    const auto v_star = core::calibrate_v(
+        [&](double v) {
+          return sim::run_coca_constant_v(scenario, v).metrics.total_brown_kwh();
+        },
+        allowance, {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 12});
+    const auto coca = sim::run_coca_constant_v(scenario, v_star.v);
+
+    // OPT: offline optimal under the same budget.
+    const auto opt_schedule = baselines::solve_offline_opt(
+        scenario.fleet, scenario.env.workload.values(),
+        scenario.env.onsite_kw.values(), scenario.env.price.values(),
+        scenario.weights, allowance,
+        {.ladder = {}, .usage_rel_tol = 0.002, .max_bisection_runs = 18});
+
+    table.add_row(
+        {fraction, coca.metrics.average_cost() / unaware_cost,
+         opt_schedule.total_cost /
+             static_cast<double>(scenario.env.slots()) / unaware_cost,
+         1.0,
+         std::string(budget.satisfied(coca.metrics.brown_series(), 1e-6)
+                         ? "yes"
+                         : "NO"),
+         v_star.v, coca.metrics.total_brown_kwh() / unaware_usage});
+  }
+  emit(table);
+  std::cout << "\npaper shape: at an 85% budget COCA exceeds the unaware cost "
+               "by only a few percent while meeting neutrality, and tracks "
+               "OPT closely; at budgets >= 1.0 COCA coincides with unaware "
+               "without using the full budget (delay cost caps usage).\n";
+}
+
+}  // namespace coca::bench

@@ -1,0 +1,16 @@
+// Fig. 5(a) — average cost vs carbon budget, FIU workload.
+//
+// Paper: normalized cost of COCA, OPT (offline optimal) and the
+// carbon-unaware algorithm under carbon budgets from 0.85 to 1.05 of the
+// unaware usage.  COCA meets neutrality at ~5% extra cost even at an 85%
+// budget and works "remarkably well even compared to OPT".
+
+#include "fig5_budget_common.hpp"
+
+int main() {
+  coca::bench::banner("Fig. 5(a)",
+                      "normalized cost vs carbon budget (FIU-like workload)");
+  coca::bench::run_budget_sweep(coca::sim::WorkloadKind::kFiuLike,
+                                {0.85, 0.90, 0.92, 0.95, 1.00, 1.05});
+  return 0;
+}

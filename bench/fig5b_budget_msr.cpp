@@ -1,0 +1,15 @@
+// Fig. 5(b) — average cost vs carbon budget, MSR workload.
+//
+// Paper: the same sweep as Fig. 5(a) on the MSR Cambridge trace (one week
+// repeated for a year with +/-40% noise), "delivering the same message":
+// COCA works well across workload traces.
+
+#include "fig5_budget_common.hpp"
+
+int main() {
+  coca::bench::banner("Fig. 5(b)",
+                      "normalized cost vs carbon budget (MSR-like workload)");
+  coca::bench::run_budget_sweep(coca::sim::WorkloadKind::kMsrLike,
+                                {0.85, 0.90, 0.95, 1.00, 1.05});
+  return 0;
+}

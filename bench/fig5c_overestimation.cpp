@@ -1,0 +1,60 @@
+// Fig. 5(c) — sensitivity to workload overestimation.
+//
+// Paper: to absorb traffic spikes the operator plans with workloads
+// overestimated by a factor phi in [1.0, 1.2]; the total cost rises by less
+// than 2.5% even at 20% overestimation, because extra capacity lowers delay
+// cost while raising electricity cost.  V is chosen so neutrality holds.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/calibration.hpp"
+#include "workload/transforms.hpp"
+
+int main() {
+  using namespace coca;
+
+  const auto scenario = sim::build_scenario(bench::default_scenario_config());
+  bench::banner("Fig. 5(c)", "total cost vs workload overestimation factor");
+  bench::scenario_summary(scenario);
+
+  // As everywhere in Sec. 5.2.4, V is chosen per configuration so that
+  // carbon neutrality stays satisfied while planning with inflated loads.
+  auto run_with_phi = [&](double phi) {
+    sim::Scenario overestimated = scenario;
+    overestimated.env = scenario.env.with_planning(
+        workload::overestimate(scenario.env.workload, phi));
+    const auto v_star = core::calibrate_v(
+        [&](double v) {
+          return sim::run_coca_constant_v(overestimated, v)
+              .metrics.total_brown_kwh();
+        },
+        scenario.budget.total_allowance(),
+        {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 12});
+    std::cout << "phi = " << phi << ": calibrated V = " << v_star.v << "\n";
+    return sim::run_coca_constant_v(overestimated, v_star.v);
+  };
+
+  const auto exact = run_with_phi(1.0);
+  util::Table table({"phi", "avg hourly cost ($)", "cost increase (%)",
+                     "delay cost (norm)", "electricity (norm)",
+                     "usage (% allowance)"});
+  for (double phi : {1.0, 1.05, 1.10, 1.15, 1.20}) {
+    const auto result = phi == 1.0 ? exact : run_with_phi(phi);
+    table.add_row(
+        {phi, result.metrics.average_cost(),
+         100.0 * (result.metrics.total_cost() / exact.metrics.total_cost() -
+                  1.0),
+         result.metrics.total_delay_cost() / exact.metrics.total_delay_cost(),
+         result.metrics.total_electricity_cost() /
+             exact.metrics.total_electricity_cost(),
+         100.0 * result.metrics.total_brown_kwh() /
+             scenario.budget.total_allowance()});
+  }
+  bench::emit(table);
+  std::cout << "\npaper shape: cost rises by only a few percent at phi = 1.2 "
+               "— overestimation trades electricity for delay nearly "
+               "one-for-one.  (Overestimation also covers imperfect service-"
+               "rate modeling, Sec. 5.2.4.)\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Micro performance benchmarks (google-benchmark) for the hot paths:
+// the load balancer, the ladder slot solver, GSD iterations (the Sec. 5.2.3
+// timing claim), the PS-queue event loop and the deficit-queue update.
+
+#include <benchmark/benchmark.h>
+
+#include "core/deficit_queue.hpp"
+#include "des/job_source.hpp"
+#include "opt/gsd.hpp"
+#include "opt/ladder_solver.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace coca;
+
+const sim::Scenario& snapshot_scenario(std::size_t groups) {
+  static std::map<std::size_t, sim::Scenario> cache;
+  auto it = cache.find(groups);
+  if (it == cache.end()) {
+    sim::ScenarioConfig config;
+    config.hours = 200;
+    config.fleet.group_count = groups;
+    it = cache.emplace(groups, sim::build_scenario(config)).first;
+  }
+  return it->second;
+}
+
+opt::SlotInput snapshot_input(const sim::Scenario& scenario) {
+  return {scenario.env.workload[150], scenario.env.onsite_kw[150],
+          scenario.env.price[150]};
+}
+
+void BM_LoadBalance(benchmark::State& state) {
+  const auto& scenario = snapshot_scenario(state.range(0));
+  const auto input = snapshot_input(scenario);
+  opt::SlotWeights weights = scenario.weights;
+  weights.V = 1.0;
+  auto alloc = opt::all_on_max(scenario.fleet, input.lambda, weights.gamma);
+  for (auto _ : state) {
+    auto working = alloc;
+    benchmark::DoNotOptimize(
+        opt::balance_loads(scenario.fleet, working, input, weights));
+  }
+}
+BENCHMARK(BM_LoadBalance)->Arg(50)->Arg(200);
+
+void BM_LadderSolveSlot(benchmark::State& state) {
+  const auto& scenario = snapshot_scenario(state.range(0));
+  const auto input = snapshot_input(scenario);
+  opt::SlotWeights weights = scenario.weights;
+  weights.V = 1.0;
+  weights.q = 100.0;
+  opt::LadderSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(scenario.fleet, input, weights));
+  }
+}
+BENCHMARK(BM_LadderSolveSlot)->Arg(50)->Arg(200);
+
+// The paper's claim: 500 GSD iterations on 200 groups in under one second.
+void BM_Gsd500Iterations200Groups(benchmark::State& state) {
+  const auto& scenario = snapshot_scenario(200);
+  const auto input = snapshot_input(scenario);
+  opt::SlotWeights weights = scenario.weights;
+  weights.V = 1.0;
+  opt::GsdConfig config;
+  config.iterations = 500;
+  config.delta = 1e6;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(
+        opt::GsdSolver(config).solve(scenario.fleet, input, weights));
+  }
+}
+BENCHMARK(BM_Gsd500Iterations200Groups)->Unit(benchmark::kMillisecond);
+
+void BM_YearSimulationPerSlot(benchmark::State& state) {
+  // Amortized cost of one COCA slot within a year-scale simulation.
+  const auto& scenario = snapshot_scenario(40);
+  std::size_t slots = 0;
+  for (auto _ : state) {
+    const auto result = sim::run_coca_constant_v(scenario, 1e4);
+    slots += result.metrics.slot_count();
+    benchmark::DoNotOptimize(result.metrics.total_cost());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_YearSimulationPerSlot)->Unit(benchmark::kMillisecond);
+
+void BM_PsQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Engine engine;
+    des::PsQueue queue(engine, 10.0);
+    des::JobSource source(engine, queue, 8.0, 1.0, 200.0, 3);
+    engine.run_until(200.0);
+    benchmark::DoNotOptimize(queue.stats().completions);
+  }
+}
+BENCHMARK(BM_PsQueueThroughput);
+
+void BM_DeficitQueueUpdate(benchmark::State& state) {
+  core::CarbonDeficitQueue queue;
+  double y = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.update(y, 5.0, 1.0, 4.0));
+    y = y > 20.0 ? 1.0 : y + 0.1;
+  }
+}
+BENCHMARK(BM_DeficitQueueUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

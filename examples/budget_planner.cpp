@@ -1,0 +1,83 @@
+// Carbon-budget planning: the "how much does neutrality cost us?" example.
+//
+// Sweeps the carbon budget from aggressive (80% of the unaware usage) to
+// slack (105%) and reports, for each target, the calibrated COCA cost, the
+// implied marginal cost of carbon abatement ($ per MWh of brown energy
+// avoided), and the off-site-PPA vs REC purchase recommendation.  This is
+// the planning exercise a data-center operator runs before committing to a
+// neutrality pledge (cf. Fig. 5(a) and the Sec. 2.2 portfolio discussion).
+//
+// Usage: budget_planner [hours] [rec_price_per_mwh] [ppa_premium_per_mwh]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/calibration.hpp"
+#include "sim/scenario.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coca;
+
+  sim::ScenarioConfig config;
+  config.hours = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2190;
+  config.fleet.group_count = 16;
+  // Market prices for offsets (illustrative defaults): RECs are cheap but
+  // pure accounting; PPA energy carries a premium over wholesale.
+  const double rec_price = argc > 2 ? std::strtod(argv[2], nullptr) : 8.0;
+  const double ppa_premium = argc > 3 ? std::strtod(argv[3], nullptr) : 18.0;
+
+  std::cout << "=== carbon budget planner ===\n";
+  const auto base = sim::build_scenario(config);
+  const auto unaware = sim::run_carbon_unaware(base.fleet, base.env,
+                                               base.weights);
+  const double unaware_usage = unaware.metrics.total_brown_kwh();
+  const double unaware_cost = unaware.metrics.total_cost();
+  std::cout << "carbon-unaware reference: " << unaware_usage / 1000.0
+            << " MWh brown, total cost $" << unaware_cost << " over "
+            << config.hours << " h\n\n";
+
+  util::Table plan({"budget (norm)", "ops cost ($)", "ops premium ($)",
+                    "offsets cost ($)", "total premium ($)",
+                    "marginal $/MWh avoided"});
+  double prev_ops = unaware_cost;
+  double prev_usage = unaware_usage;
+  for (double fraction : {1.05, 1.00, 0.95, 0.92, 0.88, 0.84, 0.80}) {
+    const double allowance = unaware_usage * fraction;
+    sim::Scenario scenario = base;
+    scenario.budget = base.budget.rescaled_to_allowance(allowance);
+    scenario.env.offsite_kwh = scenario.budget.offsite();
+
+    const auto v_star = core::calibrate_v(
+        [&](double v) {
+          return sim::run_coca_constant_v(scenario, v).metrics.total_brown_kwh();
+        },
+        allowance, {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 12});
+    const auto run = sim::run_coca_constant_v(scenario, v_star.v);
+    const double ops_cost = run.metrics.total_cost();
+    const double usage = run.metrics.total_brown_kwh();
+
+    // Offsets: the data center must hold alpha*(F+Z) >= usage; buy exactly
+    // enough at the configured 40/60 PPA/REC mix.
+    const double offsets_mwh = usage / scenario.budget.alpha() / 1000.0;
+    const double offsets_cost =
+        offsets_mwh * (0.4 * ppa_premium + 0.6 * rec_price);
+
+    const double avoided = prev_usage - usage;
+    const double marginal =
+        avoided > 1.0 ? (ops_cost - prev_ops) / (avoided / 1000.0) : 0.0;
+    plan.add_row({fraction, ops_cost, ops_cost - unaware_cost, offsets_cost,
+                  ops_cost - unaware_cost + offsets_cost, marginal});
+    prev_ops = ops_cost;
+    prev_usage = usage;
+  }
+  plan.print(std::cout);
+
+  std::cout << "\nreading: the operational premium of neutrality is convex in "
+               "the budget cut — the first few percent are nearly free "
+               "(COCA shaves low-value energy first), deeper cuts get "
+               "progressively more expensive per MWh avoided.  Offsets scale "
+               "linearly, so the cheapest pledge pairs a moderate budget cut "
+               "with purchased offsets.\n";
+  return 0;
+}

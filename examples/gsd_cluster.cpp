@@ -1,0 +1,106 @@
+// Distributed optimization on a small heterogeneous cluster.
+//
+// Shows the paper's server-level decision making at human scale: a cluster
+// of a few heterogeneous server groups solves one slot of P3 three ways —
+// the exact exhaustive search, the ladder solver, and the distributed GSD
+// sampler (Algorithm 2) — and prints the per-group speed/load decisions so
+// you can see who runs at which DVFS state and who sleeps.
+//
+// Usage: gsd_cluster [lambda_req_s] [queue_kwh]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "opt/exhaustive_solver.hpp"
+#include "opt/gsd.hpp"
+#include "opt/ladder_solver.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_decision(const char* name, const coca::dc::Fleet& fleet,
+                    const coca::opt::SlotSolution& solution) {
+  using coca::util::Table;
+  std::cout << "\n--- " << name << " ---  objective = "
+            << solution.outcome.objective
+            << " $, cost = " << solution.outcome.total_cost
+            << " $ (electricity " << solution.outcome.electricity_cost
+            << " + delay " << solution.outcome.delay_cost << "), brown = "
+            << solution.outcome.brown_kwh << " kWh\n";
+  Table table({"group", "model", "servers", "active", "speed (GHz)",
+               "rate (req/s)", "load (req/s)", "per-server util"});
+  for (std::size_t g = 0; g < fleet.group_count(); ++g) {
+    const auto& a = solution.alloc[g];
+    const auto& spec = fleet.group(g).spec();
+    const bool on = a.active > 0.0;
+    const double rate = spec.level(a.level).service_rate;
+    table.add_row({static_cast<double>(g), std::string(spec.model()),
+                   static_cast<double>(fleet.group(g).server_count()),
+                   a.active, on ? spec.level(a.level).frequency_ghz : 0.0,
+                   on ? rate : 0.0, a.load,
+                   on && a.active > 0.0 ? a.load / (a.active * rate) : 0.0});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coca;
+
+  const double lambda = argc > 1 ? std::strtod(argv[1], nullptr) : 55.0;
+  const double queue = argc > 2 ? std::strtod(argv[2], nullptr) : 0.0;
+
+  // A small heterogeneous cluster: three generations, three servers each.
+  const auto reference = dc::ServerSpec::opteron2380();
+  std::vector<dc::ServerGroup> groups;
+  groups.emplace_back(reference, 3);
+  groups.emplace_back(reference.scaled("gen-1 (mid)", 0.9, 1.08), 3);
+  groups.emplace_back(reference.scaled("gen-2 (old)", 0.8, 1.15), 3);
+  const dc::Fleet fleet(std::move(groups));
+
+  const opt::SlotInput input{lambda, 0.3, 0.08};  // a bit of rooftop solar
+  opt::SlotWeights weights;
+  weights.V = 1.0;
+  weights.q = queue;
+  weights.beta = 0.01;
+  weights.gamma = 0.9;
+
+  std::cout << "cluster: " << fleet.total_servers() << " servers in "
+            << fleet.group_count() << " groups; lambda = " << lambda
+            << " req/s (capacity " << fleet.max_capacity()
+            << "), price = " << input.price << " $/kWh, onsite = "
+            << input.onsite_kw << " kW, carbon-deficit queue = " << queue
+            << " kWh\n";
+
+  const auto exact = opt::ExhaustiveSolver().solve(fleet, input, weights);
+  print_decision("exhaustive (ground truth)", fleet, exact);
+
+  opt::LadderConfig ladder_config;
+  ladder_config.polish_passes = 2;
+  ladder_config.polish_count_step = 0.34;
+  const auto ladder = opt::LadderSolver(ladder_config).solve(fleet, input, weights);
+  print_decision("ladder solver", fleet, ladder);
+
+  opt::GsdConfig gsd;
+  gsd.iterations = 2'000;
+  gsd.adaptive = true;
+  gsd.delta_initial = 10.0;
+  gsd.delta_growth = 1.01;
+  gsd.seed = 4;
+  const auto sampled = opt::GsdSolver(gsd).solve(fleet, input, weights);
+  print_decision("GSD (Algorithm 2, adaptive temperature)", fleet,
+                 sampled.best);
+
+  std::cout << "\noptimality gaps vs exhaustive: ladder "
+            << 100.0 * (ladder.outcome.objective / exact.outcome.objective - 1.0)
+            << "%, GSD "
+            << 100.0 * (sampled.best.outcome.objective /
+                            exact.outcome.objective -
+                        1.0)
+            << "%\n";
+  std::cout << "\nTry a deficit pressure, e.g. `gsd_cluster 55 5`: the higher "
+               "effective energy price consolidates load onto fewer, faster "
+               "servers.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "core/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace coca::core {
+
+VCalibrationResult calibrate_v(
+    const std::function<double(double)>& annual_brown_for_v,
+    double target_kwh, const VCalibrationOptions& options) {
+  if (options.v_lo <= 0.0 || options.v_hi <= options.v_lo) {
+    throw std::invalid_argument("calibrate_v: bad V bracket");
+  }
+  VCalibrationResult result;
+
+  // Usage is nondecreasing in V.  If the smallest V already busts the
+  // target, the budget is unattainable for this scenario.
+  double usage_lo = annual_brown_for_v(options.v_lo);
+  ++result.runs;
+  if (usage_lo > target_kwh) {
+    result.v = options.v_lo;
+    result.usage = usage_lo;
+    return result;
+  }
+  double usage_hi = annual_brown_for_v(options.v_hi);
+  ++result.runs;
+  if (usage_hi <= target_kwh) {
+    // Even the most cost-greedy V respects the budget: no tradeoff needed.
+    result.v = options.v_hi;
+    result.usage = usage_hi;
+    result.target_met = true;
+    return result;
+  }
+
+  double lo = std::log(options.v_lo);
+  double hi = std::log(options.v_hi);
+  double best_v = options.v_lo;
+  double best_usage = usage_lo;
+  while (result.runs < options.max_runs) {
+    const double mid = 0.5 * (lo + hi);
+    const double v = std::exp(mid);
+    const double usage = annual_brown_for_v(v);
+    ++result.runs;
+    if (usage <= target_kwh) {
+      best_v = v;
+      best_usage = usage;
+      lo = mid;
+      // Close enough to the target from below: stop early.
+      if (usage >= target_kwh * (1.0 - options.usage_rel_tol)) break;
+    } else {
+      hi = mid;
+    }
+  }
+  result.v = best_v;
+  result.usage = best_usage;
+  result.target_met = best_usage <= target_kwh;
+  return result;
+}
+
+}  // namespace coca::core

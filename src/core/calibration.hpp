@@ -1,0 +1,35 @@
+#pragma once
+// Cost-carbon parameter calibration.
+//
+// The paper notes V is "typically determined on a trial-and-error basis"
+// (Sec. 4.3) and its sensitivity studies "appropriately choose V such that
+// carbon neutrality is satisfied" (Sec. 5.2.4).  This helper automates that
+// trial-and-error: annual brown-energy usage is nondecreasing in V (larger V
+// cares less about carbon), so a bisection over log V finds the largest V —
+// i.e. the cheapest operation — whose usage still meets the target budget.
+
+#include <functional>
+
+namespace coca::core {
+
+struct VCalibrationResult {
+  double v = 1.0;        ///< calibrated cost-carbon parameter
+  double usage = 0.0;    ///< annual brown energy at that V (kWh)
+  int runs = 0;          ///< simulations performed
+  bool target_met = false;
+};
+
+struct VCalibrationOptions {
+  double v_lo = 1.0;
+  double v_hi = 1e9;
+  double usage_rel_tol = 0.005;  ///< acceptable overshoot below the target
+  int max_runs = 24;
+};
+
+/// `annual_brown_for_v` runs a full simulation at the given V and returns
+/// the annual brown energy (kWh).  Finds the largest V with usage <= target.
+VCalibrationResult calibrate_v(
+    const std::function<double(double)>& annual_brown_for_v,
+    double target_kwh, const VCalibrationOptions& options = {});
+
+}  // namespace coca::core

@@ -1,0 +1,36 @@
+#include "core/coca_controller.hpp"
+
+namespace coca::core {
+
+CocaController::CocaController(const dc::Fleet& fleet, CocaConfig config)
+    : fleet_(&fleet), config_(std::move(config)), ladder_(config_.ladder) {}
+
+opt::SlotSolution CocaController::plan(std::size_t t,
+                                       const opt::SlotInput& input) {
+  // Algorithm 1 lines 2-4: frame boundary => queue reset, V <- V_r.
+  if (config_.schedule.is_frame_start(t)) queue_.reset();
+
+  opt::SlotWeights weights = config_.weights;
+  weights.V = config_.schedule.v_for_slot(t);
+  weights.q = queue_.length();
+
+  // Line 5: solve P3.
+  if (config_.engine == P3Engine::kGsd) {
+    opt::GsdConfig gsd = config_.gsd;
+    // Decorrelate the sampler across slots while staying deterministic.
+    gsd.seed = config_.gsd.seed + t * 0x9e3779b9ULL;
+    const auto result = opt::GsdSolver(gsd).solve(*fleet_, input, weights);
+    return result.best;
+  }
+  return ladder_.solve(*fleet_, input, weights);
+}
+
+void CocaController::observe(std::size_t t, const opt::SlotOutcome& billed,
+                             double offsite_kwh) {
+  (void)t;
+  // Line 6: Eq. 17 with the realized f(t).
+  queue_.update(billed.brown_kwh, offsite_kwh, config_.alpha,
+                config_.rec_per_slot);
+}
+
+}  // namespace coca::core

@@ -1,0 +1,41 @@
+#pragma once
+// The online-controller interface shared by COCA and all baselines.
+//
+// A controller sees, at the start of slot t, exactly what the paper's
+// Algorithm 1 sees — lambda(t), r(t), w(t) — and returns a full slot
+// decision.  After the slot it observes what it is billed (including any
+// switching energy) and the realized off-site renewables f(t), which is how
+// COCA's deficit queue learns without foresight.
+
+#include <cstddef>
+#include <string>
+
+#include "opt/ladder_solver.hpp"
+
+namespace coca::core {
+
+class SlotController {
+ public:
+  virtual ~SlotController() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Decide capacity provisioning + load distribution for slot t.
+  virtual opt::SlotSolution plan(std::size_t t, const opt::SlotInput& input) = 0;
+
+  /// Feedback after the slot: the billed outcome (brown energy may include
+  /// switching energy and reflects the *actual* workload) and the realized
+  /// off-site renewable energy f(t) in kWh.
+  virtual void observe(std::size_t t, const opt::SlotOutcome& billed,
+                       double offsite_kwh) {
+    (void)t;
+    (void)billed;
+    (void)offsite_kwh;
+  }
+
+  /// Diagnostic hook: controllers with a deficit queue report its length so
+  /// the simulator can record it; stateless controllers report 0.
+  virtual double diagnostic_queue_length() const { return 0.0; }
+};
+
+}  // namespace coca::core

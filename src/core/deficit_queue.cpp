@@ -1,0 +1,21 @@
+#include "core/deficit_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coca::core {
+
+double CarbonDeficitQueue::update(double brown_kwh, double offsite_kwh,
+                                  double alpha, double rec_per_slot) {
+  if (brown_kwh < 0.0 || offsite_kwh < 0.0 || rec_per_slot < 0.0) {
+    throw std::invalid_argument("CarbonDeficitQueue::update: negative input");
+  }
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("CarbonDeficitQueue::update: alpha must be > 0");
+  }
+  q_ = std::max(0.0, q_ + brown_kwh - alpha * offsite_kwh - rec_per_slot);
+  history_.push_back(q_);
+  return q_;
+}
+
+}  // namespace coca::core

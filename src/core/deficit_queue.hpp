@@ -1,0 +1,40 @@
+#pragma once
+// The carbon-deficit virtual queue (Eq. 17) — COCA's central device.
+//
+//   q(t+1) = [ q(t) + y(t) - alpha*f(t) - z ]^+ ,   z = alpha * Z / J,
+//
+// where y(t) is the slot's brown energy.  The queue length measures how far
+// cumulative electricity usage has deviated from the carbon-neutrality
+// allowance; COCA feeds it back as the weight on energy in P3 ("if violate
+// neutrality, then use less electricity").  Algorithm 1 resets the queue at
+// the start of every frame so the cost-carbon parameter V can be re-tuned.
+
+#include <cstddef>
+#include <vector>
+
+namespace coca::core {
+
+class CarbonDeficitQueue {
+ public:
+  CarbonDeficitQueue() = default;
+
+  double length() const { return q_; }
+
+  /// Apply Eq. 17 for one slot.  `brown_kwh` = y(t), `offsite_kwh` = f(t),
+  /// `alpha` and `rec_per_slot` (= z) come from the carbon budget.
+  /// Returns the new queue length.
+  double update(double brown_kwh, double offsite_kwh, double alpha,
+                double rec_per_slot);
+
+  /// Frame reset (Algorithm 1 lines 2-4).
+  void reset() { q_ = 0.0; }
+
+  /// Queue length after every update so far (diagnostics / Theorem 2 checks).
+  const std::vector<double>& history() const { return history_; }
+
+ private:
+  double q_ = 0.0;
+  std::vector<double> history_;
+};
+
+}  // namespace coca::core

@@ -1,0 +1,71 @@
+#include "core/rec_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coca::core {
+
+DynamicRecCocaController::DynamicRecCocaController(const dc::Fleet& fleet,
+                                                   CocaConfig config,
+                                                   RecMarketConfig market)
+    : fleet_(&fleet),
+      config_(std::move(config)),
+      market_(std::move(market)),
+      ladder_(config_.ladder) {
+  if (market_.spot_price.empty()) {
+    throw std::invalid_argument("DynamicRecCoca: empty spot price trace");
+  }
+  if (market_.max_per_slot_kwh <= 0.0) {
+    throw std::invalid_argument("DynamicRecCoca: per-slot cap must be > 0");
+  }
+}
+
+opt::SlotSolution DynamicRecCocaController::plan(std::size_t t,
+                                                 const opt::SlotInput& input) {
+  if (config_.schedule.is_frame_start(t)) queue_.reset();
+  opt::SlotWeights weights = config_.weights;
+  weights.V = config_.schedule.v_for_slot(t);
+  weights.q = queue_.length();
+  return ladder_.solve(*fleet_, input, weights);
+}
+
+double DynamicRecCocaController::purchase_decision(std::size_t t,
+                                                   double queue_length) const {
+  if (t >= market_.spot_price.size()) return 0.0;
+  const double v = config_.schedule.v_for_slot(t);
+  const double price = market_.spot_price[t];
+  // Drift-plus-penalty: buy iff alpha * q > V * c(t).
+  if (config_.alpha * queue_length <= v * price) return 0.0;
+  double amount = market_.max_per_slot_kwh;
+  if (market_.max_total_kwh > 0.0) {
+    amount = std::min(amount,
+                      market_.max_total_kwh - ledger_.purchased_total());
+  }
+  // Never buy more than the queue can absorb (the extra would be clamped
+  // away by the [.]^+ in Eq. 17 and the money wasted).
+  amount = std::min(amount, queue_length / config_.alpha);
+  return std::max(0.0, amount);
+}
+
+void DynamicRecCocaController::observe(std::size_t t,
+                                       const opt::SlotOutcome& billed,
+                                       double offsite_kwh) {
+  // First the ordinary Eq. 17 update with the realized off-site renewables
+  // and any pre-purchased per-slot block ...
+  queue_.update(billed.brown_kwh, offsite_kwh, config_.alpha,
+                config_.rec_per_slot);
+  // ... then the procurement decision against the post-update queue: the
+  // purchase offsets deficit exactly like alpha*f would have.
+  const double bought = purchase_decision(t, queue_.length());
+  purchases_.push_back(bought);
+  if (bought > 0.0) {
+    ledger_.purchase(bought);
+    // Retired immediately against the deficit; clamped so accumulated
+    // floating-point drift in the ledger can never throw mid-year.
+    ledger_.retire_up_to(bought);
+    spend_ += bought * market_.spot_price[t];
+    queue_.update(0.0, bought, config_.alpha, 0.0);
+  }
+}
+
+}  // namespace coca::core

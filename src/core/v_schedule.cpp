@@ -1,0 +1,43 @@
+#include "core/v_schedule.hpp"
+
+#include <algorithm>
+
+namespace coca::core {
+
+VSchedule::VSchedule(std::vector<double> values, std::size_t frame_length)
+    : values_(std::move(values)), frame_length_(frame_length) {
+  if (values_.empty()) {
+    throw std::invalid_argument("VSchedule: need at least one V value");
+  }
+  for (double v : values_) {
+    if (v <= 0.0) throw std::invalid_argument("VSchedule: V must be positive");
+  }
+  if (values_.size() > 1 && frame_length_ == 0) {
+    throw std::invalid_argument("VSchedule: multi-frame schedule needs T > 0");
+  }
+}
+
+VSchedule VSchedule::constant(double v) { return VSchedule({v}, 0); }
+
+VSchedule VSchedule::frames(std::vector<double> values, std::size_t frame_length) {
+  if (frame_length == 0) {
+    throw std::invalid_argument("VSchedule::frames: frame length must be > 0");
+  }
+  return VSchedule(std::move(values), frame_length);
+}
+
+double VSchedule::v_for_slot(std::size_t t) const {
+  if (frame_length_ == 0) return values_.front();
+  const std::size_t frame = std::min(t / frame_length_, values_.size() - 1);
+  return values_[frame];
+}
+
+bool VSchedule::is_frame_start(std::size_t t) const {
+  if (t == 0) return true;
+  if (frame_length_ == 0) return false;
+  // No resets after the schedule's final frame begins (the tail extends it).
+  if (t / frame_length_ >= values_.size()) return false;
+  return t % frame_length_ == 0;
+}
+
+}  // namespace coca::core

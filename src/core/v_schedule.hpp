@@ -1,0 +1,38 @@
+#pragma once
+// Cost-carbon parameter schedules (Sec. 4.3, "Dynamic selection of
+// cost-carbon parameters").
+//
+// The budgeting period of J slots is divided into R frames of T slots each
+// (J = R*T); frame r runs with parameter V_r, and the deficit queue is reset
+// at every frame boundary.  A constant V is the single-frame special case.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace coca::core {
+
+class VSchedule {
+ public:
+  /// Constant V for the whole period (R = 1).
+  static VSchedule constant(double v);
+  /// Per-frame values V_0..V_{R-1}, each frame `frame_length` (= T) slots.
+  static VSchedule frames(std::vector<double> values, std::size_t frame_length);
+
+  /// V for slot t (the last frame extends if t runs past R*T).
+  double v_for_slot(std::size_t t) const;
+  /// True at frame boundaries t = r*T (where Algorithm 1 resets the queue).
+  bool is_frame_start(std::size_t t) const;
+  /// T; returns 0 for a constant schedule (single unbounded frame).
+  std::size_t frame_length() const { return frame_length_; }
+  std::size_t frame_count() const { return values_.size(); }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  VSchedule(std::vector<double> values, std::size_t frame_length);
+
+  std::vector<double> values_;
+  std::size_t frame_length_ = 0;  ///< 0 => one unbounded frame
+};
+
+}  // namespace coca::core

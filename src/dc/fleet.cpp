@@ -1,0 +1,91 @@
+#include "dc/fleet.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace coca::dc {
+
+Fleet::Fleet(std::vector<ServerGroup> groups) : groups_(std::move(groups)) {
+  if (groups_.empty()) throw std::invalid_argument("Fleet: no groups");
+}
+
+std::size_t Fleet::total_servers() const {
+  std::size_t total = 0;
+  for (const auto& g : groups_) total += g.server_count();
+  return total;
+}
+
+double Fleet::max_capacity() const {
+  double total = 0.0;
+  for (const auto& g : groups_) total += g.max_capacity();
+  return total;
+}
+
+double Fleet::peak_power_kw() const {
+  double total = 0.0;
+  for (const auto& g : groups_) total += g.peak_power_kw();
+  return total;
+}
+
+Fleet make_default_fleet(const FleetConfig& config) {
+  if (config.group_count == 0 || config.total_servers < config.group_count) {
+    throw std::invalid_argument("make_default_fleet: bad sizes");
+  }
+  const std::size_t generations = std::max<std::size_t>(1, config.generations);
+  const ServerSpec reference = ServerSpec::opteron2380();
+
+  std::vector<ServerSpec> specs;
+  specs.reserve(generations);
+  for (std::size_t j = 0; j < generations; ++j) {
+    const double frac =
+        generations == 1
+            ? 0.0
+            : static_cast<double>(j) / static_cast<double>(generations - 1);
+    // Generation 0 is the newest (reference); older generations are slower
+    // and draw relatively more power per unit work.
+    const double speed_factor = 1.0 - config.speed_spread * frac;
+    const double power_factor = 1.0 + config.power_spread * frac;
+    specs.push_back(reference.scaled(
+        "gen-" + std::to_string(j), speed_factor, power_factor));
+  }
+
+  const std::size_t base = config.total_servers / config.group_count;
+  std::size_t remainder = config.total_servers % config.group_count;
+  std::vector<ServerGroup> groups;
+  groups.reserve(config.group_count);
+  for (std::size_t g = 0; g < config.group_count; ++g) {
+    std::size_t count = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    groups.emplace_back(specs[g % generations], count);
+  }
+  return Fleet(std::move(groups));
+}
+
+Fleet make_homogeneous_fleet(std::size_t groups, std::size_t servers_per_group) {
+  std::vector<ServerGroup> out;
+  out.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    out.emplace_back(ServerSpec::opteron2380(), servers_per_group);
+  }
+  return Fleet(std::move(out));
+}
+
+Fleet degraded_fleet(const Fleet& fleet,
+                     const std::vector<std::size_t>& failed_per_group) {
+  if (failed_per_group.size() != fleet.group_count()) {
+    throw std::invalid_argument("degraded_fleet: group count mismatch");
+  }
+  std::vector<ServerGroup> groups;
+  groups.reserve(fleet.group_count());
+  for (std::size_t g = 0; g < fleet.group_count(); ++g) {
+    const std::size_t have = fleet.group(g).server_count();
+    const std::size_t failed = failed_per_group[g];
+    if (failed > have) {
+      throw std::invalid_argument("degraded_fleet: more failures than servers");
+    }
+    groups.emplace_back(fleet.group(g).spec(), have - failed);
+  }
+  return Fleet(std::move(groups));
+}
+
+}  // namespace coca::dc

@@ -1,0 +1,62 @@
+#pragma once
+// The heterogeneous data-center fleet: an ordered collection of server
+// groups.  The paper's reference deployment is ~216 K servers (50 MW peak)
+// spanning several purchase generations; GSD operates at the granularity of
+// 200 groups.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dc/server_group.hpp"
+
+namespace coca::dc {
+
+class Fleet {
+ public:
+  explicit Fleet(std::vector<ServerGroup> groups);
+
+  std::size_t group_count() const { return groups_.size(); }
+  const ServerGroup& group(std::size_t g) const { return groups_.at(g); }
+  const std::vector<ServerGroup>& groups() const { return groups_; }
+
+  std::size_t total_servers() const;
+  /// Total service capacity at top speeds (req/s).
+  double max_capacity() const;
+  /// Peak IT power (kW), all servers at top speed and full load.
+  double peak_power_kw() const;
+
+ private:
+  std::vector<ServerGroup> groups_;
+};
+
+struct FleetConfig {
+  std::size_t total_servers = 216'000;  ///< paper: ~216 K servers, 50 MW peak
+  std::size_t group_count = 200;        ///< paper: GSD run with 200 groups
+  std::size_t generations = 4;          ///< hardware heterogeneity
+  /// Per-generation speed spread: generation j gets speed factor
+  /// 1 - speed_spread * j / (generations - 1).
+  double speed_spread = 0.18;
+  /// Per-generation power spread (older servers less efficient).
+  double power_spread = 0.12;
+  std::uint64_t seed = 42;  ///< reserved for randomized variants
+};
+
+/// Build the default heterogeneous fleet: `group_count` groups of (nearly)
+/// equal size cycling through `generations` scaled variants of the
+/// Opteron 2380 reference spec.
+Fleet make_default_fleet(const FleetConfig& config = {});
+
+/// Convenience: a small homogeneous fleet for tests/examples.
+Fleet make_homogeneous_fleet(std::size_t groups, std::size_t servers_per_group);
+
+/// Failure injection (Sec. 4.2: "In the event of server failures, only
+/// functioning servers need to participate ..."): a copy of the fleet with
+/// `failed_per_group[g]` servers removed from group g.  Groups are preserved
+/// (a fully-failed group keeps zero servers) so allocations and controllers
+/// keep their dimensions and can continue mid-run.  Throws if more servers
+/// fail than exist.
+Fleet degraded_fleet(const Fleet& fleet,
+                     const std::vector<std::size_t>& failed_per_group);
+
+}  // namespace coca::dc

@@ -1,0 +1,66 @@
+#pragma once
+// Server hardware model (Eq. 1 of the paper).
+//
+// A server supports a finite set of positive processing speeds
+// S = {s_1 < ... < s_K} (DVFS states) plus the implicit zero speed (off /
+// deep sleep, negligible power).  While on, power is
+//     p(lambda, x) = p_s + p_c(x) * lambda / x,
+// i.e. static power plus computing power scaled by utilization.  Speeds are
+// service rates in requests/second; power in kW.
+//
+// The paper's measured reference platform (Powerpack, quad-core AMD Opteron
+// 2380) is provided as ServerSpec::opteron2380().
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace coca::dc {
+
+/// One positive DVFS operating point.
+struct SpeedLevel {
+  double frequency_ghz = 0.0;    ///< nominal clock, informational
+  double service_rate = 0.0;     ///< x: requests/second at this speed
+  double dynamic_power_kw = 0.0; ///< p_c(x): computing power at 100% utilization
+};
+
+class ServerSpec {
+ public:
+  ServerSpec(std::string model, double static_power_kw,
+             std::vector<SpeedLevel> levels);
+
+  const std::string& model() const { return model_; }
+  /// p_s: power while on, independent of load (kW).
+  double static_power_kw() const { return static_power_kw_; }
+  /// Number of positive speed levels K (the zero speed is implicit).
+  std::size_t level_count() const { return levels_.size(); }
+  const SpeedLevel& level(std::size_t k) const { return levels_.at(k); }
+  const std::vector<SpeedLevel>& levels() const { return levels_; }
+  /// Fastest service rate (requests/second).
+  double max_rate() const { return levels_.back().service_rate; }
+  /// Peak power: static + dynamic at the fastest level (kW).
+  double peak_power_kw() const;
+
+  /// Average power (kW) at level k with per-server arrival rate `lambda`
+  /// (Eq. 1; requires 0 <= lambda <= service rate).
+  double power_kw(std::size_t k, double lambda) const;
+  /// Dynamic-power slope p_c(x)/x at level k (kW per req/s).
+  double dynamic_slope(std::size_t k) const;
+
+  /// Derived spec for another hardware generation: service rates scaled by
+  /// `speed_factor`, all powers by `power_factor`.
+  ServerSpec scaled(std::string model, double speed_factor,
+                    double power_factor) const;
+
+  /// The paper's measured server: idle 140 W; speeds 0.8 GHz/184 W,
+  /// 1.3/194, 1.8/208, 2.5/231; 10 req/s at full speed (speeds assumed
+  /// proportional to frequency).
+  static ServerSpec opteron2380();
+
+ private:
+  std::string model_;
+  double static_power_kw_;
+  std::vector<SpeedLevel> levels_;  ///< ascending by service_rate
+};
+
+}  // namespace coca::dc

@@ -1,0 +1,30 @@
+#pragma once
+// Server on/off switching-cost model (Sec. 5.2.4, Fig. 5(d)).
+//
+// Following the paper (and [19]), switching costs — energy and time waste
+// plus wear-and-tear from toggling servers — are folded into a single
+// per-toggle cost quantified as *energy* (kWh) and normalized against the
+// maximum hourly energy of one server (0.231 kWh for the reference spec).
+// Each unit change in a group's active-server count counts as one toggle.
+
+#include "dc/power_model.hpp"
+
+namespace coca::dc {
+
+struct SwitchingModel {
+  /// Energy charged per server toggled on or off (kWh).  The paper sweeps
+  /// 0-10% of 0.231 kWh.
+  double kwh_per_toggle = 0.0;
+};
+
+/// Number of toggles between consecutive allocations: sum over groups of
+/// |active(t) - active(t-1)|.  A group that changes speed level with the same
+/// active count is *not* charged (DVFS transitions are cheap; only on/off
+/// cycles wear hardware).
+double toggles_between(const Allocation& previous, const Allocation& next);
+
+/// Switching energy (kWh) between consecutive allocations.
+double switching_energy_kwh(const SwitchingModel& model,
+                            const Allocation& previous, const Allocation& next);
+
+}  // namespace coca::dc

@@ -1,0 +1,54 @@
+#include "des/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace coca::des {
+
+Engine::EventId Engine::schedule(double time, Callback fn) {
+  if (time < now_ - 1e-12) {
+    throw std::invalid_argument("Engine::schedule: time in the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push({time, next_sequence_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Engine::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const QueuedEvent event = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(event.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = event.time;
+    fn(*this);
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(double time) {
+  while (!queue_.empty()) {
+    // Skip cancelled heads without advancing the clock.
+    const QueuedEvent head = queue_.top();
+    if (!callbacks_.count(head.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (head.time > time) break;
+    step();
+  }
+  now_ = std::max(now_, time);
+}
+
+void Engine::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace coca::des

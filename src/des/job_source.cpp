@@ -1,0 +1,45 @@
+#include "des/job_source.hpp"
+
+#include <stdexcept>
+
+namespace coca::des {
+
+JobSource::JobSource(Engine& engine, PsQueue& queue, double rate,
+                     double mean_work, double end_time, std::uint64_t seed)
+    : engine_(&engine),
+      queue_(&queue),
+      rate_(rate),
+      mean_work_(mean_work),
+      end_time_(end_time),
+      rng_(seed) {
+  if (rate_ < 0.0 || mean_work_ <= 0.0) {
+    throw std::invalid_argument("JobSource: bad rate/mean_work");
+  }
+  schedule_next();
+}
+
+void JobSource::schedule_next() {
+  if (rate_ <= 0.0) return;
+  const double next = engine_->now() + rng_.exponential(1.0 / rate_);
+  if (next >= end_time_) return;
+  pending_ = engine_->schedule(next, [this](Engine&) { on_arrival(); });
+}
+
+void JobSource::on_arrival() {
+  pending_ = 0;
+  ++generated_;
+  queue_->arrive(rng_.exponential(mean_work_));
+  schedule_next();
+}
+
+void JobSource::set_rate(double rate) {
+  if (rate < 0.0) throw std::invalid_argument("JobSource::set_rate: negative rate");
+  rate_ = rate;
+  if (pending_ != 0) {
+    engine_->cancel(pending_);
+    pending_ = 0;
+  }
+  schedule_next();
+}
+
+}  // namespace coca::des

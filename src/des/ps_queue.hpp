@@ -1,0 +1,72 @@
+#pragma once
+// Processor-sharing queue on the DES engine.
+//
+// Models one server: jobs carry a work requirement (in "work units"); the
+// server processes at `speed` work units per second shared equally among the
+// jobs present (PS discipline).  With Poisson arrivals this is the M/G/1/PS
+// queue of Eq. 4, whose mean number in system is rho/(1-rho) — the identity
+// the tests validate against the analytic delay model.
+
+#include <cstddef>
+#include <vector>
+
+#include "des/engine.hpp"
+
+namespace coca::des {
+
+class PsQueue {
+ public:
+  /// `speed`: service capacity in work units per second (> 0).
+  PsQueue(Engine& engine, double speed);
+
+  /// Change the service speed at the current simulation time (DVFS).
+  void set_speed(double speed);
+  double speed() const { return speed_; }
+
+  /// A job with `work` service requirement arrives now.
+  void arrive(double work);
+
+  std::size_t jobs_in_system() const { return jobs_.size(); }
+
+  struct Stats {
+    std::size_t arrivals = 0;
+    std::size_t completions = 0;
+    double total_response_seconds = 0.0;  ///< summed sojourn times
+    double area_jobs = 0.0;   ///< integral of jobs-in-system over time
+    double observed_seconds = 0.0;
+
+    double mean_response_seconds() const {
+      return completions ? total_response_seconds /
+                               static_cast<double>(completions)
+                         : 0.0;
+    }
+    double mean_jobs_in_system() const {
+      return observed_seconds > 0.0 ? area_jobs / observed_seconds : 0.0;
+    }
+  };
+
+  /// Statistics; call after engine.run_until(t) — the integral is folded up
+  /// to the engine's current clock.
+  Stats stats();
+
+ private:
+  struct ActiveJob {
+    double remaining = 0.0;
+    double arrival_time = 0.0;
+  };
+
+  /// Apply service for the elapsed time since the last update.
+  void advance();
+  /// (Re)schedule the next completion event.
+  void schedule_departure();
+  void on_departure();
+
+  Engine* engine_;
+  double speed_;
+  std::vector<ActiveJob> jobs_;
+  double last_update_ = 0.0;
+  Engine::EventId pending_departure_ = 0;
+  Stats stats_;
+};
+
+}  // namespace coca::des

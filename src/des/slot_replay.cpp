@@ -1,0 +1,45 @@
+#include "des/slot_replay.hpp"
+
+#include <stdexcept>
+
+#include "des/job_source.hpp"
+
+namespace coca::des {
+
+PsMeasurement measure_ps_server(double lambda, double rate, double duration,
+                                std::uint64_t seed) {
+  if (rate <= 0.0 || duration <= 0.0) {
+    throw std::invalid_argument("measure_ps_server: bad rate/duration");
+  }
+  Engine engine;
+  PsQueue queue(engine, rate);
+  // Normalized work units: mean work 1 => service rate `rate` jobs/s.
+  JobSource source(engine, queue, lambda, 1.0, duration, seed);
+  engine.run_until(duration);
+  const auto stats = queue.stats();
+  PsMeasurement out;
+  out.mean_jobs_in_system = stats.mean_jobs_in_system();
+  out.mean_response_seconds = stats.mean_response_seconds();
+  out.completions = stats.completions;
+  return out;
+}
+
+double replay_delay_jobs(const dc::Fleet& fleet, const dc::Allocation& alloc,
+                         double duration, std::uint64_t seed) {
+  if (alloc.size() != fleet.group_count()) {
+    throw std::invalid_argument("replay_delay_jobs: allocation size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t g = 0; g < alloc.size(); ++g) {
+    const auto& a = alloc[g];
+    if (a.active <= 0.0 || a.load <= 0.0) continue;
+    const double rate = fleet.group(g).spec().level(a.level).service_rate;
+    const double per_server = a.load / a.active;
+    const auto measured =
+        measure_ps_server(per_server, rate, duration, seed + g);
+    total += a.active * measured.mean_jobs_in_system;
+  }
+  return total;
+}
+
+}  // namespace coca::des

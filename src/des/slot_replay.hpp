@@ -1,0 +1,32 @@
+#pragma once
+// Job-level replay of slot decisions: runs representative M/G/1/PS servers
+// through the DES engine and measures the delay quantities the analytic
+// model (Eq. 4) predicts.  This is the bridge between the fast slot-level
+// simulation and the paper's event-based methodology.
+
+#include <cstdint>
+#include <vector>
+
+#include "dc/power_model.hpp"
+
+namespace coca::des {
+
+struct PsMeasurement {
+  double mean_jobs_in_system = 0.0;   ///< analytic: lambda/(x - lambda)
+  double mean_response_seconds = 0.0; ///< analytic: 1/(x - lambda)
+  std::size_t completions = 0;
+};
+
+/// Simulate one M/G/1/PS server with arrival rate `lambda` (jobs/s) and
+/// service rate `rate` (jobs/s) for `duration` simulated seconds.
+PsMeasurement measure_ps_server(double lambda, double rate, double duration,
+                                std::uint64_t seed = 9);
+
+/// Replay an allocation's per-server operating points: one representative
+/// server per group with load > 0.  Returns the fleet delay cost estimated
+/// from the measurements (sum over groups of active * measured jobs in
+/// system), comparable to dc::total_delay_jobs.
+double replay_delay_jobs(const dc::Fleet& fleet, const dc::Allocation& alloc,
+                         double duration, std::uint64_t seed = 9);
+
+}  // namespace coca::des

@@ -1,0 +1,74 @@
+#include "energy/budget.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace coca::energy {
+
+CarbonBudget::CarbonBudget(coca::workload::Trace offsite, double recs_kwh,
+                           double alpha)
+    : offsite_(std::move(offsite)), recs_kwh_(recs_kwh), alpha_(alpha) {
+  if (recs_kwh_ < 0.0) throw std::invalid_argument("CarbonBudget: negative RECs");
+  if (alpha_ <= 0.0) throw std::invalid_argument("CarbonBudget: alpha must be > 0");
+  if (offsite_.empty()) throw std::invalid_argument("CarbonBudget: empty offsite trace");
+}
+
+double CarbonBudget::total_allowance() const {
+  return alpha_ * (offsite_.total() + recs_kwh_);
+}
+
+double CarbonBudget::rec_per_slot() const {
+  return alpha_ * recs_kwh_ / static_cast<double>(offsite_.size());
+}
+
+double CarbonBudget::slot_allowance(std::size_t t) const {
+  return alpha_ * offsite_[t] + rec_per_slot();
+}
+
+std::vector<double> CarbonBudget::deficit_series(
+    std::span<const double> brown_kwh) const {
+  if (brown_kwh.size() != offsite_.size()) {
+    throw std::invalid_argument("CarbonBudget::deficit_series: size mismatch");
+  }
+  std::vector<double> deficit(brown_kwh.size());
+  for (std::size_t t = 0; t < brown_kwh.size(); ++t) {
+    deficit[t] = brown_kwh[t] - slot_allowance(t);
+  }
+  return deficit;
+}
+
+bool CarbonBudget::satisfied(std::span<const double> brown_kwh,
+                             double rel_tol) const {
+  if (brown_kwh.size() != offsite_.size()) {
+    throw std::invalid_argument("CarbonBudget::satisfied: size mismatch");
+  }
+  const double usage = util::sum_of(brown_kwh);
+  const double allowance = total_allowance();
+  return usage <= allowance * (1.0 + rel_tol);
+}
+
+CarbonBudget CarbonBudget::rescaled_to_allowance(double target_allowance) const {
+  const double current = total_allowance();
+  if (current <= 0.0) {
+    throw std::domain_error("CarbonBudget::rescaled_to_allowance: zero allowance");
+  }
+  const double factor = target_allowance / current;
+  return CarbonBudget(offsite_.scaled(factor), recs_kwh_ * factor, alpha_);
+}
+
+CarbonBudget CarbonBudget::with_mix(double offsite_share) const {
+  if (offsite_share < 0.0 || offsite_share > 1.0) {
+    throw std::invalid_argument("CarbonBudget::with_mix: share must be in [0,1]");
+  }
+  const double total = offsite_.total() + recs_kwh_;
+  const double offsite_total = total * offsite_share;
+  const double current_offsite = offsite_.total();
+  if (current_offsite <= 0.0) {
+    throw std::domain_error("CarbonBudget::with_mix: zero offsite energy");
+  }
+  return CarbonBudget(offsite_.scaled(offsite_total / current_offsite),
+                      total * (1.0 - offsite_share), alpha_);
+}
+
+}  // namespace coca::energy

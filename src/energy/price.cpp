@@ -1,0 +1,64 @@
+#include "energy/price.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace coca::energy {
+namespace {
+
+/// Double-peak diurnal shape, normalized around 1.0.
+double diurnal_price_shape(double hour_of_day) {
+  const double morning =
+      std::exp(-0.5 * std::pow((hour_of_day - 9.0) / 2.2, 2.0));
+  const double evening =
+      std::exp(-0.5 * std::pow((hour_of_day - 19.0) / 2.6, 2.0));
+  const double overnight_dip =
+      -0.5 * std::exp(-0.5 * std::pow((hour_of_day - 3.5) / 2.5, 2.0));
+  return 1.0 + 0.9 * morning + 1.1 * evening + overnight_dip;
+}
+
+}  // namespace
+
+coca::workload::Trace make_price_trace(const PriceConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<double> values(config.hours);
+  const double innovation_sigma =
+      config.noise_sigma *
+      std::sqrt(1.0 - config.noise_persistence * config.noise_persistence);
+  double noise = 0.0;
+  for (std::size_t t = 0; t < config.hours; ++t) {
+    const double hour_of_day = static_cast<double>(t % 24);
+    const std::size_t day = t / 24;
+    const bool weekend = (day % 7 == 5) || (day % 7 == 6);
+
+    const double shape = diurnal_price_shape(hour_of_day);
+    double price = config.base_price *
+                   (1.0 + config.diurnal_amplitude * (shape - 1.0));
+    if (weekend) price *= 1.0 - config.weekend_discount;
+
+    // Summer premium (cooling demand).
+    const double season =
+        1.0 + config.seasonal_amplitude *
+                  std::sin(2.0 * std::numbers::pi *
+                               (static_cast<double>(t) -
+                                0.45 * static_cast<double>(
+                                           coca::workload::kHoursPerYear)) /
+                               static_cast<double>(coca::workload::kHoursPerYear) +
+                           std::numbers::pi / 2.0);
+    price *= season;
+
+    noise = config.noise_persistence * noise + rng.normal(0.0, innovation_sigma);
+    price *= std::max(0.1, 1.0 + noise);
+
+    if (rng.bernoulli(config.spike_probability)) {
+      price += config.base_price * config.spike_scale * rng.exponential(1.0);
+    }
+    values[t] = std::max(config.floor_price, price);
+  }
+  return coca::workload::Trace("price", std::move(values));
+}
+
+}  // namespace coca::energy

@@ -1,0 +1,53 @@
+#include "energy/solar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace coca::energy {
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}
+
+double clear_sky_output(double hour_of_day, double day_of_year, double latitude_deg) {
+  // Solar declination (degrees), standard approximation.
+  const double declination =
+      23.45 * std::sin(2.0 * std::numbers::pi * (284.0 + day_of_year) / 365.0);
+  const double lat = latitude_deg * kDegToRad;
+  const double dec = declination * kDegToRad;
+  // Hour angle: 15 degrees per hour from solar noon.
+  const double hour_angle = (hour_of_day - 12.0) * 15.0 * kDegToRad;
+  // Sine of solar elevation.
+  const double sin_elev = std::sin(lat) * std::sin(dec) +
+                          std::cos(lat) * std::cos(dec) * std::cos(hour_angle);
+  return std::max(0.0, sin_elev);
+}
+
+coca::workload::Trace make_solar_trace(const SolarConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<double> values(config.hours);
+  double cloud_state = 0.0;  // AR(1), mapped through a logistic to [0, 1]
+  for (std::size_t t = 0; t < config.hours; ++t) {
+    const double hour_of_day = static_cast<double>(t % 24);
+    const double day_of_year =
+        std::fmod(static_cast<double>(t) / 24.0, 365.0);
+    // Advance the cloud state once per day (at midnight) plus small hourly jitter.
+    if (t % 24 == 0) {
+      cloud_state = config.cloud_persistence * cloud_state +
+                    rng.normal(0.0, config.cloud_sigma);
+    }
+    const double hourly_jitter = rng.normal(0.0, 0.05);
+    const double cloudiness =
+        1.0 / (1.0 + std::exp(-(cloud_state + hourly_jitter)));  // in (0, 1)
+    const double attenuation = 1.0 - config.cloud_attenuation * cloudiness;
+    const double output = clear_sky_output(hour_of_day, day_of_year,
+                                           config.latitude_deg) *
+                          attenuation;
+    values[t] = std::max(0.0, config.nameplate_kw * output);
+  }
+  return coca::workload::Trace("solar", std::move(values));
+}
+
+}  // namespace coca::energy

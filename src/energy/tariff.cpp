@@ -1,0 +1,67 @@
+#include "energy/tariff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace coca::energy {
+
+TieredTariff::TieredTariff(std::vector<Tier> tiers) : tiers_(std::move(tiers)) {
+  if (tiers_.empty()) throw std::invalid_argument("TieredTariff: no tiers");
+  double prev_threshold = 0.0;
+  double prev_price = -1.0;
+  for (std::size_t k = 0; k < tiers_.size(); ++k) {
+    const auto& tier = tiers_[k];
+    if (tier.price < 0.0) throw std::invalid_argument("TieredTariff: negative price");
+    if (tier.price < prev_price) {
+      throw std::invalid_argument(
+          "TieredTariff: prices must be nondecreasing (convexity)");
+    }
+    if (k + 1 < tiers_.size()) {
+      if (!(tier.upto_kwh > prev_threshold) || !std::isfinite(tier.upto_kwh)) {
+        throw std::invalid_argument(
+            "TieredTariff: thresholds must be finite and increasing");
+      }
+    } else if (std::isfinite(tier.upto_kwh)) {
+      throw std::invalid_argument("TieredTariff: final tier must be unbounded");
+    }
+    prev_threshold = tier.upto_kwh;
+    prev_price = tier.price;
+  }
+}
+
+TieredTariff TieredTariff::flat(double price) {
+  return TieredTariff({{std::numeric_limits<double>::infinity(), price}});
+}
+
+double TieredTariff::cost(double kwh) const {
+  if (kwh < 0.0) throw std::invalid_argument("TieredTariff::cost: negative energy");
+  double bill = 0.0;
+  double floor = 0.0;
+  for (const auto& tier : tiers_) {
+    const double ceil = std::min(kwh, tier.upto_kwh);
+    if (ceil <= floor) break;
+    bill += (ceil - floor) * tier.price;
+    floor = ceil;
+  }
+  return bill;
+}
+
+double TieredTariff::marginal_price(double kwh) const {
+  return tiers_[tier_of(kwh)].price;
+}
+
+std::size_t TieredTariff::tier_of(double kwh) const {
+  if (kwh < 0.0) throw std::invalid_argument("TieredTariff::tier_of: negative energy");
+  for (std::size_t k = 0; k < tiers_.size(); ++k) {
+    if (kwh <= tiers_[k].upto_kwh) return k;
+  }
+  return tiers_.size() - 1;
+}
+
+double TieredTariff::tier_floor(std::size_t k) const {
+  if (k >= tiers_.size()) throw std::out_of_range("TieredTariff::tier_floor");
+  return k == 0 ? 0.0 : tiers_[k - 1].upto_kwh;
+}
+
+}  // namespace coca::energy

@@ -1,0 +1,49 @@
+#pragma once
+// Nonlinear electricity tariffs (Sec. 2.1: "our analysis is not restricted
+// to a linear electricity cost function and can also model other electricity
+// cost functions such as nonlinear convex functions, e.g., the data center
+// is charged at a higher price if it consumes more power").
+//
+// We model the standard utility structure: a piecewise-linear convex
+// increasing-block tariff.  Energy within tier k (between the previous
+// threshold and `upto_kwh`) is billed at that tier's marginal price; prices
+// must be nondecreasing across tiers (convexity), which is what makes the
+// per-slot problem exactly solvable (see opt/tiered_solver.hpp).
+
+#include <limits>
+#include <vector>
+
+namespace coca::energy {
+
+class TieredTariff {
+ public:
+  struct Tier {
+    double upto_kwh = std::numeric_limits<double>::infinity();
+    double price = 0.0;  ///< $/kWh for energy inside this block
+  };
+
+  /// Tiers must have strictly increasing thresholds, nondecreasing prices,
+  /// and the final tier must be unbounded; throws std::invalid_argument
+  /// otherwise.
+  explicit TieredTariff(std::vector<Tier> tiers);
+
+  /// Flat (linear) tariff — the paper's base model.
+  static TieredTariff flat(double price);
+
+  std::size_t tier_count() const { return tiers_.size(); }
+  const Tier& tier(std::size_t k) const { return tiers_.at(k); }
+
+  /// Total bill for `kwh` of energy ($).  Convex, increasing, cost(0) = 0.
+  double cost(double kwh) const;
+  /// Marginal price at consumption `kwh` ($/kWh).
+  double marginal_price(double kwh) const;
+  /// Index of the tier containing `kwh`.
+  std::size_t tier_of(double kwh) const;
+  /// Lower threshold of tier k (0 for the first tier).
+  double tier_floor(std::size_t k) const;
+
+ private:
+  std::vector<Tier> tiers_;
+};
+
+}  // namespace coca::energy

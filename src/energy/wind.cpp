@@ -1,0 +1,39 @@
+#include "energy/wind.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace coca::energy {
+
+double turbine_power_curve(double speed_ms, const WindConfig& config) {
+  if (speed_ms < config.cut_in_ms || speed_ms >= config.cut_out_ms) return 0.0;
+  if (speed_ms >= config.rated_ms) return 1.0;
+  // Cubic ramp between cut-in and rated speed (standard approximation).
+  const double x = (speed_ms - config.cut_in_ms) /
+                   (config.rated_ms - config.cut_in_ms);
+  return x * x * x;
+}
+
+coca::workload::Trace make_wind_trace(const WindConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<double> values(config.hours);
+  // AR(1) latent state with stationary variance speed_sigma^2.
+  const double innovation_sigma =
+      config.speed_sigma * std::sqrt(1.0 - config.persistence * config.persistence);
+  double latent = 0.0;
+  for (std::size_t t = 0; t < config.hours; ++t) {
+    latent = config.persistence * latent + rng.normal(0.0, innovation_sigma);
+    const double diurnal =
+        1.0 + config.diurnal_amplitude *
+                  std::sin(2.0 * std::numbers::pi *
+                           (static_cast<double>(t % 24) - 9.0) / 24.0);
+    const double speed = std::max(0.0, (config.mean_speed_ms + latent) * diurnal);
+    values[t] = config.nameplate_kw * turbine_power_curve(speed, config);
+  }
+  return coca::workload::Trace("wind", std::move(values));
+}
+
+}  // namespace coca::energy

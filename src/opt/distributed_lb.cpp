@@ -1,0 +1,125 @@
+#include "opt/distributed_lb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace coca::opt {
+namespace {
+
+/// A server group's local state: everything it needs to answer a price
+/// broadcast autonomously (its own spec and active count — no global
+/// knowledge).
+struct LocalAgent {
+  std::size_t group = 0;
+  double rate = 0.0;
+  double slope = 0.0;   ///< facility-referenced dynamic slope
+  double active = 0.0;
+  double cap_per = 0.0;
+
+  /// The per-server best response of Appendix A's dual decomposition.
+  double respond(double nu, double mu, double v_beta) const {
+    const double threshold = mu * slope + v_beta / rate;
+    if (nu <= threshold) return 0.0;
+    const double a = rate - std::sqrt(v_beta * rate / (nu - mu * slope));
+    return std::clamp(a, 0.0, cap_per);
+  }
+};
+
+}  // namespace
+
+DistributedLbResult distribute_loads_message_passing(
+    const dc::Fleet& fleet, dc::Allocation& alloc, double lambda, double mu,
+    const SlotWeights& weights, const DistributedLbConfig& config) {
+  DistributedLbResult result;
+  for (auto& a : alloc) a.load = 0.0;
+  if (lambda <= 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Each active group instantiates its local agent.
+  std::vector<LocalAgent> agents;
+  double capacity = 0.0;
+  for (std::size_t g = 0; g < alloc.size(); ++g) {
+    if (alloc[g].active <= 0.0) continue;
+    const auto& spec = fleet.group(g).spec();
+    LocalAgent agent;
+    agent.group = g;
+    agent.rate = spec.level(alloc[g].level).service_rate;
+    agent.slope = weights.pue * spec.dynamic_slope(alloc[g].level);
+    agent.active = alloc[g].active;
+    agent.cap_per = weights.gamma * agent.rate;
+    capacity += agent.active * agent.cap_per;
+    agents.push_back(agent);
+  }
+  if (capacity < lambda * (1.0 - 1e-9)) return result;  // not converged
+
+  const double v_beta = weights.V * weights.beta;
+  // Price bracket maintained by the coordinator: it only ever sees the
+  // aggregate supply, never the agents' internals.
+  double lo = 0.0;
+  double hi = 0.0;
+  for (const auto& agent : agents) {
+    hi = std::max(hi, mu * agent.slope +
+                          v_beta / (agent.rate * (1.0 - weights.gamma) *
+                                    (1.0 - weights.gamma)));
+  }
+  hi = hi * (1.0 + 1e-9) + 1e-12;
+
+  double nu = 0.5 * (lo + hi);
+  std::vector<double> replies(agents.size(), 0.0);
+  for (int round = 0; round < config.max_rounds; ++round) {
+    ++result.rounds;
+    // Broadcast nu; collect one reply per agent.
+    double supply = 0.0;
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+      replies[i] = agents[i].active * agents[i].respond(nu, mu, v_beta);
+      supply += replies[i];
+      ++result.messages;
+    }
+    result.supply_gap = std::abs(supply - lambda);
+    if (result.supply_gap <= config.rel_tolerance * lambda) {
+      result.converged = true;
+      break;
+    }
+    if (supply > lambda) {
+      hi = nu;
+    } else {
+      lo = nu;
+    }
+    nu = 0.5 * (lo + hi);
+  }
+  result.nu = nu;
+
+  // Commit the final responses; distribute any residual over remaining
+  // headroom so constraint (8) holds exactly.
+  double total = 0.0;
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    alloc[agents[i].group].load = replies[i];
+    total += replies[i];
+  }
+  double residual = lambda - total;
+  if (std::abs(residual) > 0.0) {
+    if (residual > 0.0) {
+      double headroom = 0.0;
+      for (const auto& agent : agents) {
+        headroom += agent.active * agent.cap_per;
+      }
+      headroom -= total;
+      if (headroom > 0.0) {
+        for (const auto& agent : agents) {
+          const double room =
+              agent.active * agent.cap_per - alloc[agent.group].load;
+          alloc[agent.group].load += residual * room / headroom;
+        }
+      }
+    } else if (total > 0.0) {
+      const double shrink = lambda / total;
+      for (const auto& agent : agents) alloc[agent.group].load *= shrink;
+    }
+  }
+  return result;
+}
+
+}  // namespace coca::opt

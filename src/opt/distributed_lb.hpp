@@ -1,0 +1,44 @@
+#pragma once
+// Message-passing distributed load distribution — the dual-decomposition
+// protocol the paper invokes (Sec. 4.2 line 3, Appendix A: "the optimal load
+// distribution can be easily derived in a distributed manner (e.g., by using
+// dual decomposition [27])") implemented as servers would actually run it.
+//
+// Protocol per round:
+//   1. the coordinator broadcasts the current workload price nu        (1 msg)
+//   2. every active server group replies with its autonomous best-response
+//      load  a_g(nu) = clamp(x - sqrt(V*beta*x/(nu - mu*c)), 0, gamma*x)
+//      computed from purely local information                    (G messages)
+//   3. the coordinator updates nu toward market clearing (sum = lambda)
+//      by maintaining a shrinking price bracket.
+//
+// The centralized balance_loads_linear computes the same fixed point in one
+// shot; this module exists to (a) demonstrate the distributed realization,
+// (b) count the communication it costs, and (c) let tests verify both agree.
+
+#include "opt/load_balancer.hpp"
+
+namespace coca::opt {
+
+struct DistributedLbConfig {
+  int max_rounds = 200;
+  /// Stop when the supply mismatch falls below this fraction of lambda.
+  double rel_tolerance = 1e-6;
+};
+
+struct DistributedLbResult {
+  bool converged = false;
+  int rounds = 0;
+  int messages = 0;   ///< total server->coordinator replies
+  double nu = 0.0;    ///< final broadcast price
+  double supply_gap = 0.0;  ///< |sum loads - lambda| at termination
+};
+
+/// Run the protocol for a fixed effective energy price mu (the linear
+/// subproblem; the caller owns the [p-r]^+ regime logic exactly as in
+/// balance_loads).  Writes the final loads into `alloc`.
+DistributedLbResult distribute_loads_message_passing(
+    const dc::Fleet& fleet, dc::Allocation& alloc, double lambda, double mu,
+    const SlotWeights& weights, const DistributedLbConfig& config = {});
+
+}  // namespace coca::opt

@@ -1,0 +1,73 @@
+#include "opt/exhaustive_solver.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace coca::opt {
+
+std::size_t ExhaustiveSolver::configuration_count(const dc::Fleet& fleet) {
+  std::size_t total = 1;
+  for (const auto& group : fleet.groups()) {
+    // Per group: off (active = 0) plus level x count choices.
+    const std::size_t options =
+        1 + group.spec().level_count() * group.server_count();
+    if (total > (~std::size_t{0}) / options) return ~std::size_t{0};
+    total *= options;
+  }
+  return total;
+}
+
+SlotSolution ExhaustiveSolver::solve(const dc::Fleet& fleet,
+                                     const SlotInput& input,
+                                     const SlotWeights& weights) const {
+  if (configuration_count(fleet) > config_.max_configurations) {
+    throw std::invalid_argument(
+        "ExhaustiveSolver: configuration space too large");
+  }
+
+  const std::size_t groups = fleet.group_count();
+  SlotSolution best;
+  best.alloc = all_off(fleet);
+  best.outcome = evaluate(fleet, best.alloc, input, weights);
+  best.feasible = best.outcome.feasible;
+
+  auto options_for = [&](std::size_t g) {
+    return 1 + fleet.group(g).spec().level_count() *
+                   fleet.group(g).server_count();
+  };
+  auto decode = [&](dc::Allocation& alloc, std::size_t g, std::size_t opt) {
+    if (opt == 0) {
+      alloc[g].level = 0;
+      alloc[g].active = 0.0;
+      return;
+    }
+    const std::size_t idx = opt - 1;
+    const std::size_t levels = fleet.group(g).spec().level_count();
+    alloc[g].level = idx % levels;
+    alloc[g].active = static_cast<double>(idx / levels + 1);
+  };
+
+  std::vector<std::size_t> odometer(groups, 0);
+  dc::Allocation candidate(groups);
+  for (;;) {
+    for (std::size_t g = 0; g < groups; ++g) decode(candidate, g, odometer[g]);
+    const auto balanced = balance_loads(fleet, candidate, input, weights);
+    if (balanced.feasible &&
+        balanced.outcome.objective < best.outcome.objective) {
+      best.alloc = candidate;
+      best.outcome = balanced.outcome;
+      best.regime = balanced.regime;
+      best.effective_price = balanced.effective_price;
+      best.feasible = true;
+    }
+    std::size_t g = 0;
+    while (g < groups && ++odometer[g] == options_for(g)) {
+      odometer[g] = 0;
+      ++g;
+    }
+    if (g == groups) break;
+  }
+  return best;
+}
+
+}  // namespace coca::opt

@@ -1,0 +1,35 @@
+#pragma once
+// Ground-truth solver for small instances: enumerate every (level, active
+// count) combination across groups, balance loads optimally for each, and
+// return the global minimizer of the P3 objective.  Exponential in the group
+// count — intended for tests and for validating LadderSolver and GSD, not
+// for production fleets.
+
+#include <cstddef>
+
+#include "opt/ladder_solver.hpp"
+
+namespace coca::opt {
+
+struct ExhaustiveConfig {
+  /// Safety valve: refuse instances with more than this many configurations.
+  std::size_t max_configurations = 2'000'000;
+};
+
+class ExhaustiveSolver {
+ public:
+  explicit ExhaustiveSolver(ExhaustiveConfig config = {}) : config_(config) {}
+
+  /// Globally optimal slot solution over integer counts; throws
+  /// std::invalid_argument if the configuration space exceeds the cap.
+  SlotSolution solve(const dc::Fleet& fleet, const SlotInput& input,
+                     const SlotWeights& weights) const;
+
+  /// Number of configurations enumeration would visit.
+  static std::size_t configuration_count(const dc::Fleet& fleet);
+
+ private:
+  ExhaustiveConfig config_;
+};
+
+}  // namespace coca::opt

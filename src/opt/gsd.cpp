@@ -1,0 +1,118 @@
+#include "opt/gsd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coca::opt {
+
+double GsdSolver::acceptance_probability(double delta,
+                                         double explored_objective,
+                                         double kept_objective) {
+  // u = exp(d/ge) / (exp(d/ge) + exp(d/gk)) = logistic(d*(1/ge - 1/gk)).
+  // Objectives are strictly positive for feasible decisions (Appendix A);
+  // guard the degenerate cases anyway.
+  if (!std::isfinite(explored_objective)) return 0.0;
+  if (!std::isfinite(kept_objective)) return 1.0;
+  const double ge = std::max(explored_objective, 1e-300);
+  const double gk = std::max(kept_objective, 1e-300);
+  const double exponent = delta * (1.0 / ge - 1.0 / gk);
+  if (exponent > 700.0) return 1.0;
+  if (exponent < -700.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-exponent));
+}
+
+GsdResult GsdSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
+                           const SlotWeights& weights,
+                           std::optional<dc::Allocation> initial) const {
+  GsdResult result;
+  util::Rng rng(config_.seed);
+
+  // Initialization (line 1): a feasible starting configuration.
+  dc::Allocation kept =
+      initial.value_or(all_on_max(fleet, input.lambda, weights.gamma));
+  auto kept_balance = balance_loads(fleet, kept, input, weights);
+  ++result.evaluations;
+  double kept_objective = kept_balance.outcome.objective;
+
+  dc::Allocation explored = kept;  // the exploration state x^e
+  SlotSolution best;
+  best.alloc = kept;
+  best.outcome = kept_balance.outcome;
+  best.regime = kept_balance.regime;
+  best.effective_price = kept_balance.effective_price;
+  best.feasible = kept_balance.feasible;
+
+  double delta = config_.adaptive ? config_.delta_initial : config_.delta;
+  if (config_.record_trajectory) result.trajectory.reserve(config_.iterations);
+
+  for (int iter = 0; iter < config_.iterations; ++iter) {
+    // Line 2: evaluate the exploration only if it can carry the workload.
+    const double explored_capacity =
+        dc::capped_capacity(fleet, explored, weights.gamma);
+    if (explored_capacity >= input.lambda * (1.0 - 1e-12)) {
+      // Line 3: optimal load distribution for the explored speeds.
+      dc::Allocation candidate = explored;
+      const auto balanced = balance_loads(fleet, candidate, input, weights);
+      ++result.evaluations;
+      const double explored_objective = balanced.outcome.objective;
+
+      // Lines 4-5: two-point Gibbs acceptance.
+      const double u =
+          acceptance_probability(delta, explored_objective, kept_objective);
+      if (rng.bernoulli(u)) {
+        kept = candidate;
+        kept_objective = explored_objective;
+        ++result.accepted;
+        if (balanced.feasible && explored_objective < best.outcome.objective) {
+          best.alloc = candidate;
+          best.outcome = balanced.outcome;
+          best.regime = balanced.regime;
+          best.effective_price = balanced.effective_price;
+          best.feasible = true;
+        }
+      } else {
+        explored = kept;  // abandon the exploration (line 5, else branch)
+      }
+    }
+    // Note: when the exploration cannot carry the workload (line 2 fails),
+    // lines 3-5 are skipped but x^e is *not* reset — line 7 keeps mutating
+    // it, so the chain can climb out of an infeasible region (e.g. an
+    // all-at-lowest-speed initial point) one group at a time.
+
+    // Line 7: a random group explores a random speed configuration.
+    const std::size_t g = rng.uniform_index(fleet.group_count());
+    const auto& group = fleet.group(g);
+    const std::size_t level_options = group.spec().level_count();
+    // Option 0 = off; otherwise a level plus a quantized active count.
+    const std::size_t option = rng.uniform_index(level_options + 1);
+    if (option == 0) {
+      explored[g].level = 0;
+      explored[g].active = 0.0;
+    } else {
+      const std::size_t level = option - 1;
+      const int steps = std::max(1, config_.count_steps);
+      const double chunk = std::ceil(static_cast<double>(group.server_count()) /
+                                     static_cast<double>(steps));
+      const auto step = rng.uniform_index(static_cast<std::uint64_t>(steps)) + 1;
+      explored[g].level = level;
+      explored[g].active =
+          std::min(static_cast<double>(group.server_count()),
+                   chunk * static_cast<double>(step));
+    }
+
+    if (config_.adaptive) delta *= config_.delta_growth;
+    if (config_.record_trajectory) result.trajectory.push_back(kept_objective);
+  }
+
+  // Line 8: return the kept configuration (we also expose the incumbent).
+  auto final_balance = balance_loads(fleet, kept, input, weights);
+  result.solution.alloc = kept;
+  result.solution.outcome = final_balance.outcome;
+  result.solution.regime = final_balance.regime;
+  result.solution.effective_price = final_balance.effective_price;
+  result.solution.feasible = final_balance.feasible;
+  result.best = best;
+  return result;
+}
+
+}  // namespace coca::opt

@@ -1,0 +1,57 @@
+#pragma once
+// Optimal load distribution for a *fixed* capacity configuration — the convex
+// inner problem of P3, solved by dual decomposition exactly as the paper
+// prescribes (Sec. 4.2 line 3 / Appendix A: "the optimal load distribution
+// can be easily derived in a distributed manner, e.g., by dual
+// decomposition").
+//
+// With speeds and active counts fixed, facility power is affine in the group
+// loads and the delay cost is convex, so strong duality holds.  Each server's
+// best response to a broadcast workload price nu has the closed form
+//     a(nu) = clamp( x - sqrt(V*beta*x / (nu - mu*c)), 0, gamma*x ),
+// where mu is the effective brown-energy price and c the server's dynamic
+// power slope; a scalar bisection on nu clears the market (sum of loads =
+// lambda).  The [p - r]^+ kink is handled by the standard two-regime method:
+// full price if the optimum draws grid power, zero price if on-site
+// renewables cover everything, otherwise an outer bisection pins the optimum
+// to the p = r boundary.
+
+#include "opt/slot_problem.hpp"
+
+namespace coca::opt {
+
+/// Which branch of the [p - r]^+ kink the optimum landed on.
+enum class PowerRegime {
+  kGridDraw,   ///< p >= r: full effective price V*w + q
+  kRenewable,  ///< p <= r at the delay-minimizing loads: electricity free
+  kBoundary,   ///< optimum pinned at p == r
+};
+
+struct LoadBalanceResult {
+  bool feasible = false;
+  PowerRegime regime = PowerRegime::kGridDraw;
+  double nu = 0.0;               ///< clearing workload price
+  double effective_price = 0.0;  ///< mu actually used ($/kWh-weighted)
+  SlotOutcome outcome;           ///< full cost breakdown at the solution
+};
+
+/// Distribute `input.lambda` optimally across the active servers of `alloc`
+/// (levels and active counts are read, loads are overwritten).  Handles the
+/// renewable kink.  Infeasible (capacity < lambda) results leave loads zero.
+LoadBalanceResult balance_loads(const dc::Fleet& fleet, dc::Allocation& alloc,
+                                const SlotInput& input,
+                                const SlotWeights& weights);
+
+/// Linearized variant used by provisioning sweeps: charges brown energy at
+/// the *given* effective price `mu` for every kWh (no kink).  Writes loads;
+/// returns the clearing price nu, or a negative value if infeasible.
+double balance_loads_linear(const dc::Fleet& fleet, dc::Allocation& alloc,
+                            double lambda, double mu,
+                            const SlotWeights& weights);
+
+/// Facility power (kW) of an allocation under the weights' PUE.  Convenience
+/// for regime checks.
+double allocation_facility_kw(const dc::Fleet& fleet,
+                              const dc::Allocation& alloc, double pue);
+
+}  // namespace coca::opt

@@ -1,0 +1,121 @@
+#include "opt/slot_problem.hpp"
+
+#include <cmath>
+
+namespace coca::opt {
+
+SlotOutcome evaluate(const dc::Fleet& fleet, const dc::Allocation& alloc,
+                     const SlotInput& input, const SlotWeights& weights) {
+  SlotOutcome out;
+  std::string why;
+  if (!dc::allocation_feasible(fleet, alloc, weights.gamma, &why)) {
+    out.infeasible_reason = why;
+    return out;
+  }
+  const double served = dc::total_load(alloc);
+  if (std::abs(served - input.lambda) >
+      1e-6 * std::max(1.0, input.lambda) + 1e-6) {
+    out.infeasible_reason = "served load does not match lambda (constraint 8)";
+    return out;
+  }
+
+  out.it_power_kw = dc::it_power_kw(fleet, alloc);
+  out.facility_power_kw = weights.pue * out.it_power_kw;
+  out.brown_kwh =
+      dc::brown_power_kw(out.facility_power_kw, input.onsite_kw) *
+      weights.slot_hours;
+  out.electricity_cost = input.price * out.brown_kwh;
+  out.delay_jobs = dc::total_delay_jobs(fleet, alloc);
+  out.delay_cost = weights.beta * out.delay_jobs * weights.slot_hours;
+  out.total_cost = out.electricity_cost + out.delay_cost;
+  out.objective = weights.V * out.total_cost + weights.q * out.brown_kwh +
+                  weights.power_price * out.facility_power_kw *
+                      weights.slot_hours;
+  out.feasible = true;
+  return out;
+}
+
+bool slot_feasible(const dc::Fleet& fleet, double lambda, double gamma) {
+  return lambda <= gamma * fleet.max_capacity() * (1.0 + 1e-12);
+}
+
+dc::Allocation all_off(const dc::Fleet& fleet) {
+  return dc::Allocation(fleet.group_count());
+}
+
+dc::Allocation all_on_max(const dc::Fleet& fleet, double lambda, double gamma) {
+  dc::Allocation alloc(fleet.group_count());
+  const double capacity = fleet.max_capacity();
+  if (capacity <= 0.0) return alloc;  // fully failed fleet: nothing to turn on
+  for (std::size_t g = 0; g < fleet.group_count(); ++g) {
+    const auto& group = fleet.group(g);
+    alloc[g].level = group.spec().level_count() - 1;
+    alloc[g].active = static_cast<double>(group.server_count());
+    // Spread in proportion to capacity: uniform utilization everywhere.
+    alloc[g].load = lambda * group.max_capacity() / capacity;
+  }
+  // Guard against rounding pushing a group over its gamma cap.
+  if (lambda > gamma * capacity) {
+    for (auto& a : alloc) a.load *= gamma * capacity / lambda;
+  }
+  return alloc;
+}
+
+dc::Allocation expanded_to_capacity(const dc::Fleet& fleet,
+                                    const dc::Allocation& planned,
+                                    double lambda, double gamma) {
+  dc::Allocation alloc = planned;
+  for (auto& a : alloc) a.load = 0.0;
+  const double target = lambda * (1.0 + 1e-9);
+
+  // Pass 1: wake more servers at the planned speeds, proportionally to the
+  // shortfall (plus a whisker of slack for rounding).
+  double capacity = dc::capped_capacity(fleet, alloc, gamma);
+  if (capacity < target && capacity > 0.0) {
+    const double factor = target / capacity * (1.0 + 1e-6);
+    for (std::size_t g = 0; g < alloc.size(); ++g) {
+      const double servers =
+          static_cast<double>(fleet.group(g).server_count());
+      if (alloc[g].active <= 0.0) continue;
+      alloc[g].active = std::min(servers, std::ceil(alloc[g].active * factor));
+    }
+    capacity = dc::capped_capacity(fleet, alloc, gamma);
+  }
+
+  // Pass 2: groups already fully on move to their top speed.
+  if (capacity < target) {
+    for (std::size_t g = 0; g < alloc.size(); ++g) {
+      const auto& group = fleet.group(g);
+      if (alloc[g].active >=
+          static_cast<double>(group.server_count()) * (1.0 - 1e-12)) {
+        alloc[g].level = group.spec().level_count() - 1;
+      }
+    }
+    capacity = dc::capped_capacity(fleet, alloc, gamma);
+  }
+
+  // Pass 3: wake sleeping groups (at top speed) until capacity suffices.
+  if (capacity < target) {
+    for (std::size_t g = 0; g < alloc.size() && capacity < target; ++g) {
+      const auto& group = fleet.group(g);
+      const double servers = static_cast<double>(group.server_count());
+      if (alloc[g].active >= servers) continue;
+      const std::size_t top = group.spec().level_count() - 1;
+      const double per = gamma * group.spec().level(top).service_rate;
+      const double have = gamma *
+                          group.spec().level(alloc[g].level).service_rate *
+                          alloc[g].active;
+      const double need = std::min(
+          servers, std::ceil((target - capacity + have) / std::max(per, 1e-12)));
+      if (need > alloc[g].active || top != alloc[g].level) {
+        capacity -= have;
+        alloc[g].level = top;
+        alloc[g].active = std::max(alloc[g].active, need);
+        capacity += per * alloc[g].active;
+      }
+    }
+  }
+  return alloc;
+}
+
+}  // namespace coca::opt

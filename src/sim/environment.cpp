@@ -1,0 +1,24 @@
+#include "sim/environment.hpp"
+
+#include <stdexcept>
+
+namespace coca::sim {
+
+void Environment::validate() const {
+  const std::size_t n = workload.size();
+  if (n == 0) throw std::invalid_argument("Environment: empty workload trace");
+  if (planning.size() != n || onsite_kw.size() != n || price.size() != n ||
+      offsite_kwh.size() != n) {
+    throw std::invalid_argument("Environment: trace length mismatch");
+  }
+}
+
+Environment Environment::with_planning(
+    coca::workload::Trace planning_trace) const {
+  Environment out = *this;
+  out.planning = std::move(planning_trace);
+  out.validate();
+  return out;
+}
+
+}  // namespace coca::sim

@@ -1,0 +1,28 @@
+#pragma once
+// The slot-level environment: everything the paper calls "environment"
+// (Sec. 2) — workload, electricity price, on-site and off-site renewable
+// supplies — bundled as aligned hourly traces, plus the planning view of the
+// workload (which may be an overestimate or a noisy prediction; Sec. 5.2.4).
+
+#include "workload/trace.hpp"
+
+namespace coca::sim {
+
+struct Environment {
+  coca::workload::Trace workload;   ///< actual lambda(t), req/s
+  coca::workload::Trace planning;   ///< lambda the controller plans with
+  coca::workload::Trace onsite_kw;  ///< r(t), kW
+  coca::workload::Trace price;      ///< w(t), $/kWh
+  coca::workload::Trace offsite_kwh;///< f(t), kWh per slot
+
+  std::size_t slots() const { return workload.size(); }
+
+  /// Throws std::invalid_argument unless all traces are nonempty and equal
+  /// length.
+  void validate() const;
+
+  /// Copy with a different planning trace (e.g. overestimated workload).
+  Environment with_planning(coca::workload::Trace planning_trace) const;
+};
+
+}  // namespace coca::sim

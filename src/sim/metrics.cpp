@@ -1,0 +1,85 @@
+#include "sim/metrics.hpp"
+
+#include "util/stats.hpp"
+
+namespace coca::sim {
+
+double Metrics::total_cost() const {
+  double sum = 0.0;
+  for (const auto& s : slots_) sum += s.total_cost;
+  return sum;
+}
+
+double Metrics::total_brown_kwh() const {
+  double sum = 0.0;
+  for (const auto& s : slots_) sum += s.brown_kwh;
+  return sum;
+}
+
+double Metrics::total_electricity_cost() const {
+  double sum = 0.0;
+  for (const auto& s : slots_) sum += s.electricity_cost;
+  return sum;
+}
+
+double Metrics::total_delay_cost() const {
+  double sum = 0.0;
+  for (const auto& s : slots_) sum += s.delay_cost;
+  return sum;
+}
+
+double Metrics::total_switching_kwh() const {
+  double sum = 0.0;
+  for (const auto& s : slots_) sum += s.switching_kwh;
+  return sum;
+}
+
+double Metrics::average_cost() const {
+  if (slots_.empty()) return 0.0;
+  return total_cost() / static_cast<double>(slots_.size());
+}
+
+double Metrics::average_brown_kwh() const {
+  if (slots_.empty()) return 0.0;
+  return total_brown_kwh() / static_cast<double>(slots_.size());
+}
+
+std::vector<double> Metrics::cost_series() const {
+  std::vector<double> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_) out.push_back(s.total_cost);
+  return out;
+}
+
+std::vector<double> Metrics::brown_series() const {
+  std::vector<double> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_) out.push_back(s.brown_kwh);
+  return out;
+}
+
+std::vector<double> Metrics::queue_series() const {
+  std::vector<double> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_) out.push_back(s.queue_length);
+  return out;
+}
+
+std::vector<double> Metrics::delay_cost_series() const {
+  std::vector<double> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_) out.push_back(s.delay_cost);
+  return out;
+}
+
+std::vector<double> Metrics::deficit_series(
+    const energy::CarbonBudget& budget) const {
+  return budget.deficit_series(brown_series());
+}
+
+double Metrics::average_deficit(const energy::CarbonBudget& budget) const {
+  const auto series = deficit_series(budget);
+  return util::mean_of(series);
+}
+
+}  // namespace coca::sim

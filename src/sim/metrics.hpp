@@ -1,0 +1,58 @@
+#pragma once
+// Per-slot records and aggregate metrics of a simulation run: the quantities
+// every figure in the paper's evaluation is built from (hourly cost, hourly
+// carbon deficit, queue length, energy breakdown, switching activity).
+
+#include <cstddef>
+#include <vector>
+
+#include "energy/budget.hpp"
+
+namespace coca::sim {
+
+struct SlotRecord {
+  double lambda = 0.0;            ///< actual workload served (req/s)
+  double it_power_kw = 0.0;
+  double facility_power_kw = 0.0;
+  double brown_kwh = 0.0;         ///< y(t), including switching energy
+  double electricity_cost = 0.0;  ///< $
+  double delay_cost = 0.0;        ///< $
+  double total_cost = 0.0;        ///< g(t) = electricity + delay, $
+  double queue_length = 0.0;      ///< carbon-deficit queue after the slot
+  double active_servers = 0.0;
+  double toggles = 0.0;           ///< on/off transitions this slot
+  double switching_kwh = 0.0;
+};
+
+class Metrics {
+ public:
+  void record(const SlotRecord& slot) { slots_.push_back(slot); }
+  std::size_t slot_count() const { return slots_.size(); }
+  const std::vector<SlotRecord>& slots() const { return slots_; }
+
+  double total_cost() const;
+  double total_brown_kwh() const;
+  double total_electricity_cost() const;
+  double total_delay_cost() const;
+  double total_switching_kwh() const;
+  /// Average hourly cost (the paper's g-bar).
+  double average_cost() const;
+  /// Average hourly brown energy.
+  double average_brown_kwh() const;
+
+  /// Extract per-slot series for plotting/analysis.
+  std::vector<double> cost_series() const;
+  std::vector<double> brown_series() const;
+  std::vector<double> queue_series() const;
+  std::vector<double> delay_cost_series() const;
+
+  /// Hourly carbon-deficit series against a budget (brown - allowance).
+  std::vector<double> deficit_series(const energy::CarbonBudget& budget) const;
+  /// Average hourly deficit (can be negative: surplus).
+  double average_deficit(const energy::CarbonBudget& budget) const;
+
+ private:
+  std::vector<SlotRecord> slots_;
+};
+
+}  // namespace coca::sim

@@ -1,0 +1,98 @@
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/carbon_unaware.hpp"
+#include "core/coca_controller.hpp"
+#include "energy/portfolio.hpp"
+#include "energy/price.hpp"
+#include "workload/fiu_like.hpp"
+#include "workload/msr_like.hpp"
+
+namespace coca::sim {
+
+using coca::workload::Trace;
+
+SimResult run_carbon_unaware(const dc::Fleet& fleet, const Environment& env,
+                             const opt::SlotWeights& weights) {
+  baselines::CarbonUnawareController controller(fleet, weights);
+  return run_simulation(fleet, env, controller, weights);
+}
+
+SimResult run_coca_constant_v(const Scenario& scenario, double v) {
+  core::CocaConfig config;
+  config.weights = scenario.weights;
+  config.schedule = core::VSchedule::constant(v);
+  config.alpha = scenario.budget.alpha();
+  config.rec_per_slot = scenario.budget.rec_per_slot();
+  core::CocaController controller(scenario.fleet, config);
+  return run_simulation(scenario.fleet, scenario.env, controller,
+                        scenario.weights);
+}
+
+Scenario build_scenario(const ScenarioConfig& config) {
+  if (config.hours == 0) throw std::invalid_argument("build_scenario: hours == 0");
+
+  dc::Fleet fleet = dc::make_default_fleet(config.fleet);
+
+  Trace workload_trace =
+      config.workload == WorkloadKind::kFiuLike
+          ? coca::workload::make_fiu_like_trace({.hours = config.hours,
+                                                 .peak_rate = config.peak_rate,
+                                                 .seed = config.seed + 100})
+          : coca::workload::make_msr_like_year(
+                {.peak_rate = config.peak_rate, .seed = config.seed + 200}, 0.4,
+                config.hours, config.seed + 201);
+
+  energy::PriceConfig price_config;
+  price_config.hours = config.hours;
+  price_config.seed = config.seed + 300;
+  Trace price = energy::make_price_trace(price_config);
+
+  opt::SlotWeights weights;
+  weights.beta = config.beta;
+  weights.gamma = config.gamma;
+  weights.pue = config.pue;
+  weights.slot_hours = config.slot_hours;
+
+  // Step 1: reference run with no renewables at all to size the portfolios.
+  Trace zero("zero", std::vector<double>(config.hours, 0.0));
+  Environment reference_env{workload_trace, workload_trace, zero, price, zero};
+  const SimResult reference =
+      run_carbon_unaware(fleet, reference_env, weights);
+  const double reference_energy = reference.metrics.total_brown_kwh();
+
+  // Step 2: on-site renewables sized to onsite_fraction of that energy.
+  Trace onsite = energy::make_onsite_trace(
+      reference_energy * config.onsite_fraction, config.seed + 400,
+      config.hours);
+
+  // Step 3: unaware run with on-site renewables => E_unaware.
+  Environment unaware_env{workload_trace, workload_trace, onsite, price, zero};
+  const SimResult unaware = run_carbon_unaware(fleet, unaware_env, weights);
+  const double unaware_brown = unaware.metrics.total_brown_kwh();
+
+  // Step 4: carbon budget = budget_fraction of unaware usage, with the
+  // configured off-site / REC mix.  The allowance is alpha * (F + Z); we set
+  // F + Z so the allowance equals the target.
+  const double target_allowance = unaware_brown * config.budget_fraction;
+  const double pool = target_allowance / config.alpha;
+  Trace offsite = energy::make_offsite_trace(pool * config.offsite_share,
+                                             config.seed + 500, config.hours);
+  const double recs = pool * (1.0 - config.offsite_share);
+  energy::CarbonBudget budget(offsite, recs, config.alpha);
+
+  Environment env{workload_trace, workload_trace, onsite, price, offsite};
+
+  return Scenario{std::move(fleet),
+                  std::move(env),
+                  std::move(budget),
+                  weights,
+                  reference_energy,
+                  unaware_brown,
+                  unaware.metrics.total_cost(),
+                  config};
+}
+
+}  // namespace coca::sim

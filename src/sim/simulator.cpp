@@ -1,0 +1,87 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+
+#include "opt/load_balancer.hpp"
+
+namespace coca::sim {
+
+SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
+                         core::SlotController& controller,
+                         const opt::SlotWeights& weights,
+                         const SimOptions& options) {
+  env.validate();
+  SimResult result;
+
+  opt::SlotWeights billing = weights;
+  billing.V = 1.0;
+  billing.q = 0.0;
+
+  dc::Allocation previous(fleet.group_count());
+  for (std::size_t t = 0; t < env.slots(); ++t) {
+    const opt::SlotInput planned_input{env.planning[t], env.onsite_kw[t],
+                                       env.price[t]};
+    opt::SlotSolution plan = controller.plan(t, planned_input);
+
+    const opt::SlotInput actual_input{env.workload[t], env.onsite_kw[t],
+                                      env.price[t]};
+    opt::SlotOutcome billed;
+    dc::Allocation executed = plan.alloc;
+    if (options.rebalance_actual) {
+      // Runtime load balancing: distribute the actual workload over the
+      // planned capacity.  If planning underestimated and capacity is short,
+      // fall back to the emergency all-on configuration.
+      const auto balanced =
+          opt::balance_loads(fleet, executed, actual_input, billing);
+      if (balanced.feasible) {
+        billed = balanced.outcome;
+      } else {
+        // The forecast under-provisioned: wake just enough extra capacity
+        // (proportional expansion, then speed raises), not the whole fleet.
+        ++result.infeasible_slots;
+        executed = opt::expanded_to_capacity(fleet, plan.alloc,
+                                             env.workload[t], billing.gamma);
+        auto fallback = opt::balance_loads(fleet, executed, actual_input,
+                                           billing);
+        if (!fallback.feasible) {
+          executed = opt::all_on_max(fleet, env.workload[t], billing.gamma);
+          fallback = opt::balance_loads(fleet, executed, actual_input, billing);
+        }
+        billed = fallback.outcome;
+      }
+    } else {
+      billed = opt::evaluate(fleet, executed, actual_input, billing);
+      if (!billed.feasible) ++result.infeasible_slots;
+    }
+
+    // Switching energy: billed as brown energy at the slot's price (the
+    // paper folds wear-and-tear and transition waste into kWh).
+    const double toggles = dc::toggles_between(previous, executed);
+    const double switch_kwh =
+        dc::switching_energy_kwh(options.switching, previous, executed);
+    billed.brown_kwh += switch_kwh;
+    billed.electricity_cost += env.price[t] * switch_kwh;
+    billed.total_cost += env.price[t] * switch_kwh;
+
+    controller.observe(t, billed, env.offsite_kwh[t]);
+
+    SlotRecord record;
+    record.lambda = env.workload[t];
+    record.it_power_kw = billed.it_power_kw;
+    record.facility_power_kw = billed.facility_power_kw;
+    record.brown_kwh = billed.brown_kwh;
+    record.electricity_cost = billed.electricity_cost;
+    record.delay_cost = billed.delay_cost;
+    record.total_cost = billed.total_cost;
+    record.queue_length = controller.diagnostic_queue_length();
+    record.active_servers = dc::total_active_servers(executed);
+    record.toggles = toggles;
+    record.switching_kwh = switch_kwh;
+    result.metrics.record(record);
+
+    previous = std::move(executed);
+  }
+  return result;
+}
+
+}  // namespace coca::sim

@@ -1,0 +1,35 @@
+#pragma once
+// The year-scale slot simulator: drives any SlotController through an
+// Environment, bills the *actual* workload against the planned capacity,
+// charges switching energy, and feeds the controller its post-slot
+// observations (the realized off-site renewables).
+
+#include "core/controller.hpp"
+#include "dc/switching.hpp"
+#include "sim/environment.hpp"
+#include "sim/metrics.hpp"
+
+namespace coca::sim {
+
+struct SimOptions {
+  dc::SwitchingModel switching;  ///< default: free switching
+  /// Re-balance the actual workload over the planned capacity each slot
+  /// (what a real runtime load balancer does).  When false the planned
+  /// loads are billed as-is (only valid when planning == actual workload).
+  bool rebalance_actual = true;
+};
+
+struct SimResult {
+  Metrics metrics;
+  std::size_t infeasible_slots = 0;  ///< slots needing the emergency fallback
+};
+
+/// Run `controller` over all slots of `env`.  `weights` provides the model
+/// parameters (beta, gamma, pue, slot_hours) used for *billing*; V and q are
+/// forced to (1, 0) so billed costs are true costs.
+SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
+                         core::SlotController& controller,
+                         const opt::SlotWeights& weights,
+                         const SimOptions& options = {});
+
+}  // namespace coca::sim

@@ -1,0 +1,46 @@
+#include "util/moving_average.hpp"
+
+#include <stdexcept>
+
+namespace coca::util {
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("MovingAverage: window must be > 0");
+}
+
+double MovingAverage::push(double x) {
+  buffer_.push_back(x);
+  sum_ += x;
+  if (buffer_.size() > window_) {
+    sum_ -= buffer_.front();
+    buffer_.pop_front();
+  }
+  return value();
+}
+
+double MovingAverage::value() const {
+  if (buffer_.empty()) return 0.0;
+  return sum_ / static_cast<double>(buffer_.size());
+}
+
+std::vector<double> moving_average_series(std::span<const double> series,
+                                          std::size_t window) {
+  MovingAverage ma(window);
+  std::vector<double> out;
+  out.reserve(series.size());
+  for (double x : series) out.push_back(ma.push(x));
+  return out;
+}
+
+std::vector<double> running_average_series(std::span<const double> series) {
+  std::vector<double> out;
+  out.reserve(series.size());
+  double sum = 0.0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    sum += series[t];
+    out.push_back(sum / static_cast<double>(t + 1));
+  }
+  return out;
+}
+
+}  // namespace coca::util

@@ -1,0 +1,40 @@
+#pragma once
+// Moving / running average series used by the Fig. 2-3 reproductions.
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace coca::util {
+
+/// Fixed-window moving average over a stream of values.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  /// Push a value; returns the average over the most recent min(n, window)
+  /// values including this one.
+  double push(double x);
+
+  double value() const;
+  std::size_t window() const { return window_; }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::size_t window_;
+  std::deque<double> buffer_;
+  double sum_ = 0.0;
+};
+
+/// Moving average of a whole series: out[t] = mean(series[max(0,t-w+1) .. t]).
+/// This is how the paper's Fig. 2(c)(d) "45-day moving average" is computed.
+std::vector<double> moving_average_series(std::span<const double> series,
+                                          std::size_t window);
+
+/// Running (cumulative) average: out[t] = mean(series[0..t]).
+/// This is how the paper's Fig. 3 running averages are computed
+/// ("summing up all the values from time 0 to time t, divided by t+1").
+std::vector<double> running_average_series(std::span<const double> series);
+
+}  // namespace coca::util

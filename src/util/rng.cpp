@@ -1,0 +1,126 @@
+#include "util/rng.hpp"
+
+#include <limits>
+
+namespace coca::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 significant bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n <= 1) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (hi <= lo) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1ULL;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] so the log is finite.
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::exponential(double mean) {
+  const double u = 1.0 - uniform();  // (0, 1]
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth: multiply uniforms until below exp(-mean).
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++k;
+      product *= uniform();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // large arrival counts used by the DES substrate.
+  const double sample = normal(mean, std::sqrt(mean));
+  return sample <= 0.0 ? 0ULL : static_cast<std::uint64_t>(sample + 0.5);
+}
+
+double Rng::weibull(double shape, double scale) {
+  const double u = 1.0 - uniform();  // (0, 1]
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Derive a child seed from our state and the stream id; children with
+  // different ids are (statistically) independent streams.
+  std::uint64_t s = state_[0] ^ rotl(state_[2], 29) ^ (stream_id * 0xda942042e4dd58b5ULL);
+  return Rng(splitmix64(s));
+}
+
+}  // namespace coca::util

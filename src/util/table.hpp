@@ -1,0 +1,37 @@
+#pragma once
+// Console table printing for the bench binaries: every figure/table
+// reproduction prints aligned, labeled rows so the output can be read
+// directly or machine-parsed.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace coca::util {
+
+/// A table cell: text or numeric.
+using Cell = std::variant<std::string, double>;
+
+/// Fixed-schema console table; collects rows and prints them aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int precision = 4);
+
+  Table& add_row(std::vector<Cell> cells);
+  /// Render with column alignment and a separator line under the header.
+  void print(std::ostream& out) const;
+  /// Render as CSV (no alignment).
+  void print_csv(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace coca::util

@@ -1,0 +1,49 @@
+#include "workload/arrivals.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace coca::workload {
+
+std::vector<Job> sample_poisson_jobs(double rate_per_second,
+                                     double duration_seconds,
+                                     const ArrivalConfig& config) {
+  if (rate_per_second < 0.0 || duration_seconds < 0.0) {
+    throw std::invalid_argument("sample_poisson_jobs: negative rate/duration");
+  }
+  util::Rng rng(config.seed);
+  std::vector<Job> jobs;
+  if (rate_per_second == 0.0) return jobs;
+  jobs.reserve(static_cast<std::size_t>(rate_per_second * duration_seconds * 1.1) + 8);
+  double now = rng.exponential(1.0 / rate_per_second);
+  while (now < duration_seconds) {
+    jobs.push_back({now, rng.exponential(config.mean_service_seconds)});
+    now += rng.exponential(1.0 / rate_per_second);
+  }
+  return jobs;
+}
+
+std::vector<Job> sample_trace_jobs(const Trace& trace, std::size_t first_slot,
+                                   std::size_t slot_count,
+                                   double seconds_per_slot,
+                                   const ArrivalConfig& config) {
+  if (first_slot + slot_count > trace.size()) {
+    throw std::out_of_range("sample_trace_jobs: slot range out of bounds");
+  }
+  util::Rng rng(config.seed);
+  std::vector<Job> jobs;
+  for (std::size_t k = 0; k < slot_count; ++k) {
+    const double rate = trace[first_slot + k];
+    const double offset = static_cast<double>(k) * seconds_per_slot;
+    if (rate <= 0.0) continue;
+    double now = rng.exponential(1.0 / rate);
+    while (now < seconds_per_slot) {
+      jobs.push_back({offset + now, rng.exponential(config.mean_service_seconds)});
+      now += rng.exponential(1.0 / rate);
+    }
+  }
+  return jobs;
+}
+
+}  // namespace coca::workload

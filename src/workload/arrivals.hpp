@@ -1,0 +1,38 @@
+#pragma once
+// Job-level arrival sampling: turns a per-slot arrival *rate* into concrete
+// job arrival times for the discrete-event simulation substrate.  The paper's
+// workloads are "mice-type" requests whose service time is exponential with
+// mean 100 ms at full server speed; jobs arrive as a Poisson process whose
+// rate is the slot's lambda.
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace coca::workload {
+
+struct Job {
+  double arrival_time = 0.0;  ///< seconds from the start of the sampled span
+  double work = 0.0;          ///< service requirement in seconds at unit speed
+};
+
+struct ArrivalConfig {
+  double mean_service_seconds = 0.1;  ///< paper: 100 ms at full speed
+  std::uint64_t seed = 7;
+};
+
+/// Sample a Poisson arrival stream at constant rate `rate_per_second` over
+/// `duration_seconds`; each job gets an exponential work requirement.
+std::vector<Job> sample_poisson_jobs(double rate_per_second,
+                                     double duration_seconds,
+                                     const ArrivalConfig& config = {});
+
+/// Sample jobs over several consecutive slots of a trace (piecewise-constant
+/// rate).  `seconds_per_slot` converts trace slots to wall time.
+std::vector<Job> sample_trace_jobs(const Trace& trace, std::size_t first_slot,
+                                   std::size_t slot_count,
+                                   double seconds_per_slot,
+                                   const ArrivalConfig& config = {});
+
+}  // namespace coca::workload

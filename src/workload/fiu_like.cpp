@@ -1,0 +1,67 @@
+#include "workload/fiu_like.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace coca::workload {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Smooth day shape: low overnight, ramp through the morning, afternoon peak.
+double diurnal_shape(double hour_of_day) {
+  // Sum of two harmonics tuned to put the peak mid-afternoon and the trough
+  // around 4-5 AM, normalized to [0, 1].
+  const double phase = kTwoPi * (hour_of_day - 14.0) / 24.0;
+  const double primary = std::cos(phase);
+  const double secondary = 0.35 * std::cos(2.0 * phase + 0.7);
+  const double raw = primary + secondary;           // in about [-1.35, 1.35]
+  return (raw + 1.35) / 2.70;
+}
+
+}  // namespace
+
+Trace make_fiu_like_trace(const FiuLikeConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<double> values(config.hours);
+  for (std::size_t t = 0; t < config.hours; ++t) {
+    const double hour_of_day = static_cast<double>(t % kHoursPerDay);
+    const std::size_t day = t / kHoursPerDay;
+    const bool weekend = (day % 7 == 5) || (day % 7 == 6);
+
+    double level = config.base_level +
+                   (1.0 - config.base_level) * diurnal_shape(hour_of_day);
+    if (weekend) level *= config.weekend_factor;
+
+    // Seasonal modulation: slow annual harmonic (academic-year rhythm).
+    const double season =
+        1.0 + config.seasonal_amplitude *
+                  std::sin(kTwoPi * static_cast<double>(t) /
+                               static_cast<double>(kHoursPerYear) -
+                           0.9);
+    level *= season;
+
+    // Late-July surge: Gaussian bump in time, as in the paper's Fig. 1(a).
+    const double dt = static_cast<double>(t) -
+                      static_cast<double>(config.surge_center_hour);
+    const double surge =
+        1.0 + config.surge_gain *
+                  std::exp(-0.5 * (dt / config.surge_width_hours) *
+                           (dt / config.surge_width_hours));
+    level *= surge;
+
+    // Bursty noise: lognormal multiplicative plus rare spikes.
+    level *= rng.lognormal(-0.5 * config.noise_sigma * config.noise_sigma,
+                           config.noise_sigma);
+    if (rng.bernoulli(config.spike_probability)) {
+      level *= 1.0 + config.spike_gain * rng.uniform();
+    }
+    values[t] = level;
+  }
+  Trace raw("fiu-like", std::move(values));
+  return raw.scaled_to_peak(config.peak_rate);
+}
+
+}  // namespace coca::workload

@@ -1,0 +1,39 @@
+#pragma once
+// FIU-like synthetic annual workload (substitute for the paper's proprietary
+// Florida International University server I/O log, Jan 1 - Dec 31, 2012).
+//
+// The generator reproduces the structural features the paper's Fig. 1(a)
+// shows and that the control problem actually exercises:
+//   * strong diurnal cycle (campus day/night),
+//   * weekday/weekend asymmetry,
+//   * slow seasonal modulation over the year,
+//   * a pronounced activity surge in late July ("summer activities"),
+//   * bursty multiplicative noise plus occasional traffic spikes.
+// Values are arrival rates in requests/second, scaled so that the trace peak
+// equals `peak_rate` (paper: 1.1e6 req/s ~ 50% of fleet capacity).
+
+#include <cstdint>
+
+#include "workload/trace.hpp"
+
+namespace coca::workload {
+
+struct FiuLikeConfig {
+  std::size_t hours = kHoursPerYear;
+  double peak_rate = 1.1e6;       ///< req/s at the annual peak
+  double base_level = 0.30;       ///< nighttime floor relative to daily peak
+  double weekend_factor = 0.72;   ///< weekend demand relative to weekdays
+  double seasonal_amplitude = 0.12;
+  double surge_gain = 0.55;       ///< extra demand at the late-July surge peak
+  std::size_t surge_center_hour = 4920;  ///< ~July 23
+  double surge_width_hours = 260.0;
+  double noise_sigma = 0.06;      ///< lognormal multiplicative noise
+  double spike_probability = 0.004;  ///< per-hour chance of a traffic spike
+  double spike_gain = 0.5;        ///< spike magnitude relative to current level
+  std::uint64_t seed = 2012;
+};
+
+/// Generate the FIU-like annual trace.
+Trace make_fiu_like_trace(const FiuLikeConfig& config = {});
+
+}  // namespace coca::workload

@@ -1,0 +1,61 @@
+#include "workload/msr_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace coca::workload {
+namespace {
+
+/// Weekday office-hours plateau: ramps up near 8 AM, down near 7 PM.
+double office_hours_shape(double hour_of_day) {
+  auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+  return sigmoid((hour_of_day - 8.0) / 1.2) * sigmoid((19.0 - hour_of_day) / 1.8);
+}
+
+}  // namespace
+
+Trace make_msr_like_week(const MsrLikeConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<double> values(kHoursPerWeek);
+  for (std::size_t t = 0; t < kHoursPerWeek; ++t) {
+    const double hour_of_day = static_cast<double>(t % kHoursPerDay);
+    const std::size_t day = t / kHoursPerDay;
+    const bool weekend = (day == 5) || (day == 6);
+
+    double level = config.base_level +
+                   (1.0 - config.base_level) * office_hours_shape(hour_of_day);
+    if (weekend) level *= config.weekend_factor;
+
+    // I/O burstiness within the plateau.
+    level *= rng.lognormal(-0.5 * config.burst_sigma * config.burst_sigma,
+                           config.burst_sigma);
+    values[t] = level;
+  }
+  Trace raw("msr-like-week", std::move(values));
+  return raw.scaled_to_peak(config.peak_rate);
+}
+
+Trace make_msr_like_year(const MsrLikeConfig& config, double noise,
+                         std::size_t hours, std::uint64_t noise_seed) {
+  if (noise < 0.0 || noise >= 1.0) {
+    throw std::invalid_argument("make_msr_like_year: noise must be in [0, 1)");
+  }
+  const Trace week = make_msr_like_week(config);
+  const std::size_t repeats = (hours + kHoursPerWeek - 1) / kHoursPerWeek;
+  Trace repeated = week.repeated(repeats).slice(0, hours);
+
+  util::Rng rng(noise_seed);
+  std::vector<double> values(hours);
+  for (std::size_t t = 0; t < hours; ++t) {
+    values[t] = repeated[t] * rng.uniform(1.0 - noise, 1.0 + noise);
+  }
+  Trace out("msr-like", std::move(values));
+  // Renormalize so the configured peak is preserved after noise.
+  return out.scaled_to_peak(config.peak_rate);
+}
+
+}  // namespace coca::workload

@@ -1,0 +1,36 @@
+#pragma once
+// MSR-like synthetic workload (substitute for the Microsoft Research
+// Cambridge 1-week I/O trace of Feb 2007 used by the paper's Fig. 1(b)).
+//
+// The paper itself constructs its year-long MSR workload by repeating the
+// 1-week trace and adding random noise of up to +/-40%; we reproduce exactly
+// that construction on top of a synthetic base week with the trace's salient
+// features: strong business-hours activity on weekdays, bursty I/O plateaus
+// and a quiet weekend.
+
+#include <cstdint>
+
+#include "workload/trace.hpp"
+
+namespace coca::workload {
+
+struct MsrLikeConfig {
+  double peak_rate = 1.1e6;   ///< req/s at the weekly peak
+  double base_level = 0.18;   ///< off-hours floor relative to weekday peak
+  double weekend_factor = 0.45;
+  double burst_sigma = 0.10;  ///< intra-day burstiness (lognormal)
+  std::uint64_t seed = 2007;
+};
+
+/// One synthetic week (168 hourly slots), MSR-shaped, peak `peak_rate`.
+Trace make_msr_like_week(const MsrLikeConfig& config = {});
+
+/// The paper's year-long construction: repeat the base week to cover `hours`
+/// slots and perturb each slot with independent uniform noise in
+/// [1-noise, 1+noise] (noise = 0.4 in the paper).
+Trace make_msr_like_year(const MsrLikeConfig& config = {},
+                         double noise = 0.4,
+                         std::size_t hours = kHoursPerYear,
+                         std::uint64_t noise_seed = 22);
+
+}  // namespace coca::workload

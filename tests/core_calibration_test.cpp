@@ -1,0 +1,85 @@
+// Tests for the V-calibration helper (the paper's "appropriately choose V
+// such that carbon neutrality is satisfied").
+
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/scenario.hpp"
+
+namespace coca::core {
+namespace {
+
+TEST(CalibrateV, SyntheticMonotoneUsageCurve) {
+  // usage(V) = 100 * V / (V + 10): increasing, saturating at 100.
+  auto usage = [](double v) { return 100.0 * v / (v + 10.0); };
+  const auto result = calibrate_v(usage, 80.0, {.v_lo = 0.01, .v_hi = 1e6});
+  ASSERT_TRUE(result.target_met);
+  // usage(40) = 80: calibration should land close to V = 40 from below.
+  EXPECT_LE(result.usage, 80.0);
+  EXPECT_GE(result.usage, 80.0 * 0.95);
+  EXPECT_NEAR(result.v, 40.0, 8.0);
+}
+
+TEST(CalibrateV, UnattainableTargetReported) {
+  auto usage = [](double v) { return 50.0 + v * 0.0; };
+  const auto result = calibrate_v(usage, 40.0, {.v_lo = 1.0, .v_hi = 100.0});
+  EXPECT_FALSE(result.target_met);
+  EXPECT_EQ(result.runs, 1);  // detected at v_lo immediately
+}
+
+TEST(CalibrateV, SlackTargetTakesLargestV) {
+  auto usage = [](double v) { return v / 1e9; };
+  const auto result = calibrate_v(usage, 1e6, {.v_lo = 1.0, .v_hi = 1e3});
+  EXPECT_TRUE(result.target_met);
+  EXPECT_DOUBLE_EQ(result.v, 1e3);
+  EXPECT_EQ(result.runs, 2);
+}
+
+TEST(CalibrateV, BadBracketThrows) {
+  auto usage = [](double) { return 0.0; };
+  EXPECT_THROW(calibrate_v(usage, 1.0, {.v_lo = -1.0, .v_hi = 10.0}),
+               std::invalid_argument);
+  EXPECT_THROW(calibrate_v(usage, 1.0, {.v_lo = 10.0, .v_hi = 1.0}),
+               std::invalid_argument);
+}
+
+TEST(CalibrateV, RespectsRunBudget) {
+  int calls = 0;
+  auto usage = [&](double v) {
+    ++calls;
+    return 100.0 * v / (v + 10.0);
+  };
+  VCalibrationOptions options;
+  options.max_runs = 6;
+  options.usage_rel_tol = 1e-9;  // force the bisection to use every run
+  calibrate_v(usage, 80.0, options);
+  EXPECT_LE(calls, 6);
+}
+
+TEST(CalibrateV, EndToEndScenarioMeetsBudget) {
+  // Full-loop calibration on a short scenario: the calibrated V must meet
+  // the scenario budget.
+  sim::ScenarioConfig config;
+  config.hours = 300;
+  config.fleet.total_servers = 20'000;
+  config.fleet.group_count = 8;
+  config.peak_rate = 100'000.0;
+  const auto scenario = sim::build_scenario(config);
+
+  auto usage_for_v = [&](double v) {
+    return sim::run_coca_constant_v(scenario, v).metrics.total_brown_kwh();
+  };
+  const auto result = calibrate_v(usage_for_v, scenario.budget.total_allowance(),
+                                  {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 16});
+  ASSERT_TRUE(result.target_met);
+  EXPECT_LE(result.usage, scenario.budget.total_allowance() * (1.0 + 1e-9));
+  // And the calibrated V shouldn't be absurdly conservative: usage should
+  // reach at least 80% of the allowance.
+  EXPECT_GE(result.usage, scenario.budget.total_allowance() * 0.80);
+}
+
+}  // namespace
+}  // namespace coca::core

@@ -1,0 +1,158 @@
+// Tests for the COCA controller (Algorithm 1): queue feedback, frame resets,
+// V-schedule behaviour and the qualitative properties Theorem 2 predicts.
+
+#include "core/coca_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace coca::core {
+namespace {
+
+sim::ScenarioConfig small_config(std::size_t hours) {
+  sim::ScenarioConfig config;
+  config.hours = hours;
+  config.fleet.total_servers = 20'000;
+  config.fleet.group_count = 8;
+  config.peak_rate = 100'000.0;
+  return config;
+}
+
+CocaConfig coca_config(const sim::Scenario& scenario, double v) {
+  CocaConfig config;
+  config.weights = scenario.weights;
+  config.schedule = VSchedule::constant(v);
+  config.alpha = scenario.budget.alpha();
+  config.rec_per_slot = scenario.budget.rec_per_slot();
+  return config;
+}
+
+TEST(CocaController, QueueGrowsUnderExcessUsageAndFeedsBack) {
+  const auto scenario = sim::build_scenario(small_config(200));
+  CocaController controller(scenario.fleet, coca_config(scenario, 1e6));
+  EXPECT_DOUBLE_EQ(controller.queue_length(), 0.0);
+
+  // Feed a slot whose billed usage far exceeds the allowance.
+  opt::SlotOutcome billed;
+  billed.brown_kwh = scenario.budget.slot_allowance(0) + 500.0;
+  controller.plan(0, {50'000.0, 0.0, 0.06});
+  controller.observe(0, billed, scenario.env.offsite_kwh[0]);
+  EXPECT_GT(controller.queue_length(), 0.0);
+  EXPECT_DOUBLE_EQ(controller.diagnostic_queue_length(),
+                   controller.queue_length());
+}
+
+TEST(CocaController, LargerQueueReducesPlannedEnergy) {
+  const auto scenario = sim::build_scenario(small_config(200));
+  CocaController controller(scenario.fleet, coca_config(scenario, 1.0));
+  const opt::SlotInput input{50'000.0, 0.0, 0.06};
+  const auto before = controller.plan(1, input);
+
+  // Pump the queue up with several over-budget observations.
+  opt::SlotOutcome heavy;
+  heavy.brown_kwh = scenario.budget.slot_allowance(0) + 2'000.0;
+  for (std::size_t t = 1; t < 6; ++t) {
+    controller.observe(t, heavy, scenario.env.offsite_kwh[t]);
+  }
+  const auto after = controller.plan(6, input);
+  EXPECT_LT(after.outcome.brown_kwh, before.outcome.brown_kwh);
+}
+
+TEST(CocaController, FrameResetClearsQueueAndSwitchesV) {
+  const auto scenario = sim::build_scenario(small_config(100));
+  auto config = coca_config(scenario, 1.0);
+  config.schedule = VSchedule::frames({1.0, 1e9}, 10);
+  CocaController controller(scenario.fleet, config);
+
+  opt::SlotOutcome heavy;
+  heavy.brown_kwh = scenario.budget.slot_allowance(0) + 2'000.0;
+  for (std::size_t t = 0; t < 10; ++t) {
+    controller.plan(t, {50'000.0, 0.0, 0.06});
+    controller.observe(t, heavy, scenario.env.offsite_kwh[t]);
+  }
+  EXPECT_GT(controller.queue_length(), 0.0);
+  // Slot 10 starts frame 1: queue resets before planning.
+  controller.plan(10, {50'000.0, 0.0, 0.06});
+  EXPECT_DOUBLE_EQ(controller.queue_length(), 0.0);
+}
+
+TEST(CocaController, HugeVBehavesLikeCarbonUnaware) {
+  const auto scenario = sim::build_scenario(small_config(300));
+  const auto coca = sim::run_coca_constant_v(scenario, 1e12);
+  const auto unaware = sim::run_carbon_unaware(scenario.fleet, scenario.env,
+                                               scenario.weights);
+  EXPECT_NEAR(coca.metrics.total_cost(), unaware.metrics.total_cost(),
+              0.02 * unaware.metrics.total_cost());
+  EXPECT_NEAR(coca.metrics.total_brown_kwh(), unaware.metrics.total_brown_kwh(),
+              0.02 * unaware.metrics.total_brown_kwh());
+}
+
+TEST(CocaController, SmallVPrioritizesCarbonOverCost) {
+  const auto scenario = sim::build_scenario(small_config(400));
+  const auto tight = sim::run_coca_constant_v(scenario, 1.0);
+  const auto loose = sim::run_coca_constant_v(scenario, 1e12);
+  EXPECT_LT(tight.metrics.total_brown_kwh(), loose.metrics.total_brown_kwh());
+  EXPECT_GE(tight.metrics.total_cost(), loose.metrics.total_cost());
+}
+
+TEST(CocaController, CostMonotoneDecreasingInV) {
+  // Fig. 2(a)'s shape: average cost decreases (weakly) as V grows.
+  const auto scenario = sim::build_scenario(small_config(300));
+  double prev_cost = 1e300;
+  for (double v : {1e2, 1e4, 1e6, 1e8}) {
+    const auto result = sim::run_coca_constant_v(scenario, v);
+    EXPECT_LE(result.metrics.total_cost(), prev_cost * (1.0 + 0.03))
+        << "V = " << v;
+    prev_cost = result.metrics.total_cost();
+  }
+}
+
+TEST(CocaController, DeficitMonotoneIncreasingInV) {
+  // Fig. 2(b)'s shape: average carbon deficit grows (weakly) with V.
+  const auto scenario = sim::build_scenario(small_config(300));
+  double prev_brown = 0.0;
+  for (double v : {1e2, 1e4, 1e6, 1e8}) {
+    const auto result = sim::run_coca_constant_v(scenario, v);
+    EXPECT_GE(result.metrics.total_brown_kwh(), prev_brown * (1.0 - 0.03))
+        << "V = " << v;
+    prev_brown = result.metrics.total_brown_kwh();
+  }
+}
+
+TEST(CocaController, NeutralitySatisfiedAtModerateV) {
+  const auto scenario = sim::build_scenario(small_config(500));
+  const auto result = sim::run_coca_constant_v(scenario, 100.0);
+  EXPECT_TRUE(scenario.budget.satisfied(result.metrics.brown_series(), 0.02));
+}
+
+TEST(CocaController, GsdEngineProducesComparableDecisions) {
+  // The distributed engine should track the ladder engine's quality on a
+  // short horizon (GSD is stochastic; allow slack).
+  sim::ScenarioConfig cfg = small_config(24);
+  cfg.fleet.group_count = 4;
+  const auto scenario = sim::build_scenario(cfg);
+
+  auto ladder_cfg = coca_config(scenario, 1e4);
+  CocaController ladder(scenario.fleet, ladder_cfg);
+  auto gsd_cfg = coca_config(scenario, 1e4);
+  gsd_cfg.engine = P3Engine::kGsd;
+  gsd_cfg.gsd.iterations = 400;
+  gsd_cfg.gsd.adaptive = true;
+  gsd_cfg.gsd.delta_initial = 1e2;
+  gsd_cfg.gsd.delta_growth = 1.03;
+  CocaController gsd(scenario.fleet, gsd_cfg);
+
+  const auto ladder_result = sim::run_simulation(scenario.fleet, scenario.env,
+                                                 ladder, scenario.weights);
+  const auto gsd_result = sim::run_simulation(scenario.fleet, scenario.env,
+                                              gsd, scenario.weights);
+  EXPECT_LE(gsd_result.metrics.total_cost(),
+            ladder_result.metrics.total_cost() * 1.35);
+  EXPECT_EQ(gsd_result.infeasible_slots, 0u);
+}
+
+}  // namespace
+}  // namespace coca::core

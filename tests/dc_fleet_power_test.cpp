@@ -1,0 +1,129 @@
+// Tests for fleet assembly and the fleet-level power/electricity model
+// (Eqs. 2-3).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dc/power_model.hpp"
+
+namespace coca::dc {
+namespace {
+
+TEST(Fleet, DefaultFleetMatchesPaperScale) {
+  const Fleet fleet = make_default_fleet();
+  EXPECT_EQ(fleet.total_servers(), 216'000u);
+  EXPECT_EQ(fleet.group_count(), 200u);
+  // Paper: ~50 MW peak server power (231 W x 216 K = 49.9 MW for a
+  // homogeneous fleet; heterogeneity moves it a little).
+  EXPECT_NEAR(fleet.peak_power_kw(), 50'000.0, 5'000.0);
+  EXPECT_GT(fleet.max_capacity(), 1.8e6);
+}
+
+TEST(Fleet, ServerCountsExactlyPartitioned) {
+  FleetConfig config;
+  config.total_servers = 1003;
+  config.group_count = 10;
+  const Fleet fleet = make_default_fleet(config);
+  std::size_t total = 0;
+  for (const auto& g : fleet.groups()) total += g.server_count();
+  EXPECT_EQ(total, 1003u);
+}
+
+TEST(Fleet, GenerationsAreHeterogeneous) {
+  const Fleet fleet = make_default_fleet();
+  EXPECT_NE(fleet.group(0).spec().max_rate(), fleet.group(1).spec().max_rate());
+  // Generation pattern cycles.
+  EXPECT_DOUBLE_EQ(fleet.group(0).spec().max_rate(),
+                   fleet.group(4).spec().max_rate());
+}
+
+TEST(Fleet, SingleGenerationIsHomogeneous) {
+  FleetConfig config;
+  config.generations = 1;
+  config.group_count = 4;
+  config.total_servers = 400;
+  const Fleet fleet = make_default_fleet(config);
+  EXPECT_DOUBLE_EQ(fleet.group(0).spec().max_rate(),
+                   fleet.group(3).spec().max_rate());
+}
+
+TEST(Fleet, Validation) {
+  FleetConfig config;
+  config.group_count = 0;
+  EXPECT_THROW(make_default_fleet(config), std::invalid_argument);
+  EXPECT_THROW(Fleet({}), std::invalid_argument);
+}
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  Fleet fleet_ = make_homogeneous_fleet(2, 10);
+
+  Allocation alloc(double active0, double load0, double active1, double load1,
+                   std::size_t level = 3) {
+    Allocation a(2);
+    a[0] = {level, active0, load0};
+    a[1] = {level, active1, load1};
+    return a;
+  }
+};
+
+TEST_F(PowerModelTest, ItPowerSumsGroups) {
+  // Group 0: 2 servers at 5 req/s each; group 1 off.
+  const auto a = alloc(2.0, 10.0, 0.0, 0.0);
+  EXPECT_NEAR(it_power_kw(fleet_, a), 2.0 * (0.140 + 0.091 * 0.5), 1e-12);
+}
+
+TEST_F(PowerModelTest, FacilityPowerAppliesPue) {
+  const auto a = alloc(1.0, 0.0, 0.0, 0.0);
+  EXPECT_NEAR(facility_power_kw(fleet_, a, 1.5), 1.5 * 0.140, 1e-12);
+  EXPECT_THROW(facility_power_kw(fleet_, a, 0.9), std::invalid_argument);
+}
+
+TEST_F(PowerModelTest, BrownPowerClampsAtZero) {
+  EXPECT_DOUBLE_EQ(brown_power_kw(10.0, 4.0), 6.0);
+  EXPECT_DOUBLE_EQ(brown_power_kw(4.0, 10.0), 0.0);
+}
+
+TEST_F(PowerModelTest, ElectricityCostEquation3) {
+  // w * [p - r]^+ * h.
+  EXPECT_NEAR(electricity_cost(0.05, 100.0, 30.0, 1.0), 3.5, 1e-12);
+  EXPECT_DOUBLE_EQ(electricity_cost(0.05, 20.0, 30.0, 1.0), 0.0);
+  EXPECT_THROW(electricity_cost(-0.01, 1.0, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST_F(PowerModelTest, TotalsHelpers) {
+  const auto a = alloc(2.0, 10.0, 3.0, 5.0);
+  EXPECT_DOUBLE_EQ(total_load(a), 15.0);
+  EXPECT_DOUBLE_EQ(total_active_servers(a), 5.0);
+}
+
+TEST_F(PowerModelTest, FeasibilityRespectsGammaCap) {
+  // gamma = 0.9, top rate 10: cap per server = 9 req/s.
+  auto ok = alloc(1.0, 9.0, 0.0, 0.0);
+  std::string why;
+  EXPECT_TRUE(allocation_feasible(fleet_, ok, 0.9, &why)) << why;
+  auto over = alloc(1.0, 9.5, 0.0, 0.0);
+  EXPECT_FALSE(allocation_feasible(fleet_, over, 0.9, &why));
+  EXPECT_NE(why.find("gamma"), std::string::npos);
+}
+
+TEST_F(PowerModelTest, FeasibilityCatchesBadShapes) {
+  auto a = alloc(1.0, 1.0, 0.0, 0.0);
+  EXPECT_FALSE(allocation_feasible(fleet_, a, 0.0));
+  a[0].active = 11.0;
+  EXPECT_FALSE(allocation_feasible(fleet_, a, 0.9));
+  a[0].active = 1.0;
+  a[0].level = 7;
+  EXPECT_FALSE(allocation_feasible(fleet_, a, 0.9));
+  Allocation wrong_size(1);
+  EXPECT_FALSE(allocation_feasible(fleet_, wrong_size, 0.9));
+}
+
+TEST_F(PowerModelTest, CappedCapacity) {
+  const auto a = alloc(2.0, 0.0, 1.0, 0.0);
+  EXPECT_NEAR(capped_capacity(fleet_, a, 0.9), 0.9 * 10.0 * 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace coca::dc

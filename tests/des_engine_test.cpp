@@ -1,0 +1,93 @@
+// Tests for the discrete-event engine: ordering, cancellation, clock
+// semantics.
+
+#include "des/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace coca::des {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(3.0, [&](Engine&) { order.push_back(3); });
+  engine.schedule(1.0, [&](Engine&) { order.push_back(1); });
+  engine.schedule(2.0, [&](Engine&) { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, SimultaneousEventsFifo) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(1.0, [&](Engine&) { order.push_back(1); });
+  engine.schedule(1.0, [&](Engine&) { order.push_back(2); });
+  engine.schedule(1.0, [&](Engine&) { order.push_back(3); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  int fired = 0;
+  const auto id = engine.schedule(1.0, [&](Engine&) { ++fired; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // double cancel
+  engine.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(1.0, [&](Engine&) { ++fired; });
+  engine.schedule(2.0, [&](Engine&) { ++fired; });
+  engine.schedule(5.0, [&](Engine&) { ++fired; });
+  engine.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine engine;
+  std::vector<double> times;
+  engine.schedule(1.0, [&](Engine& e) {
+    times.push_back(e.now());
+    e.schedule(e.now() + 1.5, [&](Engine& e2) { times.push_back(e2.now()); });
+  });
+  engine.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[1], 2.5);
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine engine;
+  engine.schedule(5.0, [](Engine&) {});
+  engine.run_all();
+  EXPECT_THROW(engine.schedule(1.0, [](Engine&) {}), std::invalid_argument);
+}
+
+TEST(Engine, PendingCountExcludesCancelled) {
+  Engine engine;
+  const auto a = engine.schedule(1.0, [](Engine&) {});
+  engine.schedule(2.0, [](Engine&) {});
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.cancel(a);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine engine;
+  EXPECT_FALSE(engine.step());
+}
+
+}  // namespace
+}  // namespace coca::des

@@ -1,0 +1,98 @@
+// The insensitivity property of processor sharing — the reason the paper can
+// write M/G/1/PS in Eq. 4: the stationary number-in-system of an M/G/1/PS
+// queue depends on the service-time distribution only through its mean, so
+// d = rho/(1-rho) holds for *any* G.  We verify the DES substrate exhibits
+// this for exponential, deterministic, uniform and (high-variance)
+// hyperexponential work, which simultaneously validates the queue
+// implementation and the modeling assumption.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "des/job_source.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace coca::des {
+namespace {
+
+/// Drive one PS queue with Poisson(lambda) arrivals and a custom work
+/// sampler (mean 1) for `duration` seconds; return the time-averaged number
+/// in system.
+double measure_with_work(double lambda, double speed, double duration,
+                         const std::function<double(util::Rng&)>& sample_work,
+                         std::uint64_t seed) {
+  Engine engine;
+  PsQueue queue(engine, speed);
+  util::Rng rng(seed);
+  // Hand-rolled source so we control the work distribution.
+  std::function<void(Engine&)> arrival = [&](Engine& e) {
+    queue.arrive(std::max(1e-9, sample_work(rng)));
+    const double next = e.now() + rng.exponential(1.0 / lambda);
+    if (next < duration) e.schedule(next, arrival);
+  };
+  engine.schedule(rng.exponential(1.0 / lambda), arrival);
+  engine.run_until(duration);
+  return queue.stats().mean_jobs_in_system();
+}
+
+struct WorkDistribution {
+  const char* name;
+  std::function<double(util::Rng&)> sample;  ///< mean must be 1
+};
+
+class PsInsensitivity : public ::testing::TestWithParam<double> {};
+
+TEST_P(PsInsensitivity, MeanJobsDependsOnlyOnRho) {
+  const double rho = GetParam();
+  const double speed = 10.0;
+  const double lambda = rho * speed;
+  const double expected = rho / (1.0 - rho);
+  const double duration = 60'000.0;
+
+  const WorkDistribution distributions[] = {
+      {"exponential", [](util::Rng& r) { return r.exponential(1.0); }},
+      {"deterministic", [](util::Rng&) { return 1.0; }},
+      {"uniform(0.5,1.5)", [](util::Rng& r) { return r.uniform(0.5, 1.5); }},
+      // Hyperexponential: mean 1, squared coefficient of variation ~ 3.57.
+      {"hyperexponential",
+       [](util::Rng& r) {
+         return r.bernoulli(0.8) ? r.exponential(0.5) : r.exponential(3.0);
+       }},
+  };
+  for (const auto& dist : distributions) {
+    const double measured =
+        measure_with_work(lambda, speed, duration, dist.sample, 97);
+    EXPECT_NEAR(measured, expected, 0.10 * expected + 0.03)
+        << dist.name << " at rho = " << rho;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RhoSweep, PsInsensitivity,
+                         ::testing::Values(0.3, 0.5, 0.7),
+                         [](const auto& info) {
+                           return "rho" + std::to_string(static_cast<int>(
+                                              info.param * 100));
+                         });
+
+TEST(PsInsensitivity, FifoWouldNotBeInsensitive) {
+  // Sanity check that the experiment has teeth: for M/G/1-FIFO the mean
+  // number in system *does* depend on the variance (Pollaczek-Khinchine),
+  // e.g. hyperexponential FIFO queues are much longer than deterministic
+  // ones.  Under PS the two match (previous test); here we merely document
+  // the variance gap of the two work distributions used.
+  util::Rng rng(5);
+  double det_var = 0.0;
+  util::RunningStats hyper;
+  for (int i = 0; i < 200'000; ++i) {
+    hyper.add(rng.bernoulli(0.8) ? rng.exponential(0.5) : rng.exponential(3.0));
+  }
+  EXPECT_NEAR(hyper.mean(), 1.0, 0.02);
+  EXPECT_GT(hyper.variance(), 3.0);  // vs 0 for deterministic work
+  (void)det_var;
+}
+
+}  // namespace
+}  // namespace coca::des

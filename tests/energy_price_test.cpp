@@ -1,0 +1,85 @@
+// Tests for the CAISO-like hourly electricity price model.
+
+#include "energy/price.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace coca::energy {
+namespace {
+
+TEST(Price, BoundsAndLength) {
+  PriceConfig config;
+  const auto trace = make_price_trace(config);
+  EXPECT_EQ(trace.size(), config.hours);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    ASSERT_GE(trace[t], config.floor_price);
+  }
+}
+
+TEST(Price, MeanNearBase) {
+  PriceConfig config;
+  const auto trace = make_price_trace(config);
+  EXPECT_NEAR(trace.mean(), config.base_price, 0.35 * config.base_price);
+}
+
+TEST(Price, DeterministicPerSeed) {
+  const auto a = make_price_trace();
+  const auto b = make_price_trace();
+  PriceConfig other;
+  other.seed = 999;
+  const auto c = make_price_trace(other);
+  EXPECT_DOUBLE_EQ(a[4000], b[4000]);
+  EXPECT_NE(a[4000], c[4000]);
+}
+
+TEST(Price, EveningPeakAboveOvernight) {
+  const auto trace = make_price_trace();
+  util::RunningStats evening, overnight;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const std::size_t hour = t % 24;
+    if (hour == 19) evening.add(trace[t]);
+    if (hour == 3) overnight.add(trace[t]);
+  }
+  EXPECT_GT(evening.mean(), 1.2 * overnight.mean());
+}
+
+TEST(Price, WeekendsCheaper) {
+  const auto trace = make_price_trace();
+  util::RunningStats weekday, weekend;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const std::size_t day = (t / 24) % 7;
+    (day >= 5 ? weekend : weekday).add(trace[t]);
+  }
+  EXPECT_LT(weekend.mean(), weekday.mean());
+}
+
+TEST(Price, SpikesOccurButAreRare) {
+  PriceConfig config;
+  const auto trace = make_price_trace(config);
+  std::size_t spikes = 0;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    if (trace[t] > 3.0 * config.base_price) ++spikes;
+  }
+  EXPECT_GT(spikes, 0u);
+  EXPECT_LT(spikes, trace.size() / 50);
+}
+
+TEST(Price, HourToHourPersistence) {
+  const auto trace = make_price_trace();
+  EXPECT_GT(util::autocorrelation(trace.values(), 1), 0.3);
+}
+
+TEST(Price, NoSpikesWhenDisabled) {
+  PriceConfig config;
+  config.spike_probability = 0.0;
+  config.noise_sigma = 0.0;
+  const auto trace = make_price_trace(config);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    ASSERT_LT(trace[t], 3.0 * config.base_price);
+  }
+}
+
+}  // namespace
+}  // namespace coca::energy

@@ -1,0 +1,136 @@
+// Tests for the solar/wind generation models and portfolio assembly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/portfolio.hpp"
+#include "energy/solar.hpp"
+#include "energy/wind.hpp"
+#include "util/stats.hpp"
+
+namespace coca::energy {
+namespace {
+
+TEST(ClearSky, ZeroAtMidnightPositiveAtNoon) {
+  EXPECT_DOUBLE_EQ(clear_sky_output(0.0, 180.0, 37.4), 0.0);
+  EXPECT_GT(clear_sky_output(12.0, 180.0, 37.4), 0.5);
+}
+
+TEST(ClearSky, SummerNoonStrongerThanWinterNoon) {
+  // Northern hemisphere: day ~172 is the solstice, day ~355 mid-winter.
+  EXPECT_GT(clear_sky_output(12.0, 172.0, 37.4),
+            clear_sky_output(12.0, 355.0, 37.4));
+}
+
+TEST(ClearSky, SymmetricAroundSolarNoon) {
+  EXPECT_NEAR(clear_sky_output(10.0, 100.0, 37.4),
+              clear_sky_output(14.0, 100.0, 37.4), 1e-12);
+}
+
+TEST(Solar, BoundsAndNighttimeZeros) {
+  SolarConfig config;
+  config.hours = 24 * 30;
+  const auto trace = make_solar_trace(config);
+  EXPECT_EQ(trace.size(), config.hours);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    ASSERT_GE(trace[t], 0.0);
+    ASSERT_LE(trace[t], config.nameplate_kw);
+    if (t % 24 == 1) {
+      ASSERT_DOUBLE_EQ(trace[t], 0.0);  // 1 AM
+    }
+  }
+}
+
+TEST(Solar, DeterministicPerSeed) {
+  const auto a = make_solar_trace();
+  const auto b = make_solar_trace();
+  EXPECT_DOUBLE_EQ(a[5000], b[5000]);
+}
+
+TEST(Solar, CloudAttenuationReducesEnergy) {
+  SolarConfig clear;
+  clear.hours = 24 * 60;
+  clear.cloud_attenuation = 0.0;
+  SolarConfig cloudy = clear;
+  cloudy.cloud_attenuation = 0.8;
+  EXPECT_GT(make_solar_trace(clear).total(), make_solar_trace(cloudy).total());
+}
+
+TEST(Solar, IntermittencyAcrossDays) {
+  // Daily noon output varies because of the cloud process.
+  const auto trace = make_solar_trace();
+  util::RunningStats noon;
+  for (std::size_t day = 0; day < 300; ++day) noon.add(trace[day * 24 + 12]);
+  EXPECT_GT(noon.stddev() / noon.mean(), 0.05);
+}
+
+TEST(WindCurve, CutInRatedCutOut) {
+  WindConfig config;
+  EXPECT_DOUBLE_EQ(turbine_power_curve(1.0, config), 0.0);   // below cut-in
+  EXPECT_DOUBLE_EQ(turbine_power_curve(12.0, config), 1.0);  // rated
+  EXPECT_DOUBLE_EQ(turbine_power_curve(20.0, config), 1.0);  // rated region
+  EXPECT_DOUBLE_EQ(turbine_power_curve(26.0, config), 0.0);  // beyond cut-out
+}
+
+TEST(WindCurve, MonotoneBetweenCutInAndRated) {
+  WindConfig config;
+  double prev = -1.0;
+  for (double v = config.cut_in_ms; v <= config.rated_ms; v += 0.5) {
+    const double p = turbine_power_curve(v, config);
+    ASSERT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Wind, BoundsAndNonTrivialOutput) {
+  WindConfig config;
+  config.hours = 24 * 120;
+  const auto trace = make_wind_trace(config);
+  double energy = 0.0;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    ASSERT_GE(trace[t], 0.0);
+    ASSERT_LE(trace[t], config.nameplate_kw);
+    energy += trace[t];
+  }
+  // Capacity factor should be physically plausible (5% .. 70%).
+  const double cf = energy / (config.nameplate_kw * trace.size());
+  EXPECT_GT(cf, 0.05);
+  EXPECT_LT(cf, 0.7);
+}
+
+TEST(Wind, AutocorrelatedOverHours) {
+  const auto trace = make_wind_trace();
+  EXPECT_GT(util::autocorrelation(trace.values(), 1), 0.5);
+}
+
+TEST(Portfolio, ScaledToTotalHitsTarget) {
+  const auto solar = make_solar_trace();
+  const auto scaled = scaled_to_total(solar, 123456.0);
+  EXPECT_NEAR(scaled.total(), 123456.0, 1e-6 * 123456.0);
+  const coca::workload::Trace zero("z", {0.0, 0.0});
+  EXPECT_THROW(scaled_to_total(zero, 10.0), std::domain_error);
+}
+
+TEST(Portfolio, MixEnergyShares) {
+  PortfolioConfig config;
+  config.hours = 24 * 90;
+  config.solar_fraction = 0.25;
+  const auto mixed = make_portfolio_trace(1e6, config, "mix");
+  EXPECT_NEAR(mixed.total(), 1e6, 1.0);
+  EXPECT_EQ(mixed.size(), config.hours);
+}
+
+TEST(Portfolio, OnsiteAndOffsiteTotals) {
+  const auto onsite = make_onsite_trace(5e5, 3, 24 * 60);
+  const auto offsite = make_offsite_trace(7e5, 4, 24 * 60);
+  EXPECT_NEAR(onsite.total(), 5e5, 1.0);
+  EXPECT_NEAR(offsite.total(), 7e5, 1.0);
+  // Off-site is wind-heavy: it produces at night, unlike pure solar.
+  double offsite_night = 0.0;
+  for (std::size_t t = 0; t < offsite.size(); t += 24) offsite_night += offsite[t];
+  EXPECT_GT(offsite_night, 0.0);
+}
+
+}  // namespace
+}  // namespace coca::energy

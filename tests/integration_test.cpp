@@ -1,0 +1,198 @@
+// End-to-end integration tests: COCA vs every baseline on a shared scenario,
+// the qualitative claims of the paper's evaluation, the Theorem 2 cost bound
+// shape, and the analytic-vs-DES bridge on real controller decisions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/lookahead.hpp"
+#include "baselines/offline_opt.hpp"
+#include "baselines/perfect_hp.hpp"
+#include "core/calibration.hpp"
+#include "core/coca_controller.hpp"
+#include "des/slot_replay.hpp"
+#include "opt/ladder_solver.hpp"
+#include "sim/scenario.hpp"
+
+namespace coca {
+namespace {
+
+sim::Scenario medium_scenario(std::size_t hours = 720) {
+  sim::ScenarioConfig config;
+  config.hours = hours;  // one month by default
+  config.fleet.total_servers = 50'000;
+  config.fleet.group_count = 12;
+  config.peak_rate = 250'000.0;
+  return sim::build_scenario(config);
+}
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static const sim::Scenario& scenario() {
+    static const sim::Scenario s = medium_scenario();
+    return s;
+  }
+};
+
+TEST_F(EndToEnd, CocaMeetsBudgetWhereUnawareViolates) {
+  const auto& s = scenario();
+  const auto coca = sim::run_coca_constant_v(s, 100.0);
+  const auto unaware = sim::run_carbon_unaware(s.fleet, s.env, s.weights);
+  EXPECT_TRUE(s.budget.satisfied(coca.metrics.brown_series(), 0.02));
+  EXPECT_FALSE(s.budget.satisfied(unaware.metrics.brown_series()));
+}
+
+TEST_F(EndToEnd, CalibratedCocaBeatsPerfectHp) {
+  // The paper's headline comparison (Fig. 3): COCA at a neutrality-
+  // calibrated V is cheaper than the prediction-based heuristic.
+  const auto& s = scenario();
+  const auto v_star = core::calibrate_v(
+      [&](double v) {
+        return sim::run_coca_constant_v(s, v).metrics.total_brown_kwh();
+      },
+      s.budget.total_allowance(), {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 14});
+  const auto coca = sim::run_coca_constant_v(s, v_star.v);
+
+  baselines::PerfectHpController hp(s.fleet, s.weights, s.env.workload,
+                                    s.budget);
+  const auto perfect_hp =
+      sim::run_simulation(s.fleet, s.env, hp, s.weights);
+
+  EXPECT_LT(coca.metrics.total_cost(), perfect_hp.metrics.total_cost());
+  EXPECT_LE(coca.metrics.total_brown_kwh(),
+            s.budget.total_allowance() * (1.0 + 1e-6));
+}
+
+TEST_F(EndToEnd, OptLowerBoundsEveryController) {
+  const auto& s = scenario();
+  const auto opt = baselines::solve_offline_opt(
+      s.fleet, s.env.workload.values(), s.env.onsite_kw.values(),
+      s.env.price.values(), s.weights, s.budget.total_allowance());
+  ASSERT_TRUE(opt.budget_met);
+
+  const auto coca = sim::run_coca_constant_v(s, 100.0);
+  baselines::PerfectHpController hp(s.fleet, s.weights, s.env.workload,
+                                    s.budget);
+  const auto perfect_hp = sim::run_simulation(s.fleet, s.env, hp, s.weights);
+
+  EXPECT_LE(opt.total_cost, coca.metrics.total_cost() * (1.0 + 0.01));
+  EXPECT_LE(opt.total_cost, perfect_hp.metrics.total_cost() * (1.0 + 0.01));
+}
+
+TEST_F(EndToEnd, CocaWithinTheoremStyleGapOfLookahead) {
+  // Theorem 2(b): avg cost <= benchmark + C(T)/V-ish slack.  We check the
+  // empirical counterpart: COCA at large-but-calibrated V lands within a
+  // modest factor of the T-step lookahead benchmark.
+  const auto& s = scenario();
+  const auto lookahead = baselines::solve_lookahead(
+      s.fleet, s.env.workload.values(), s.env.onsite_kw.values(),
+      s.env.price.values(), s.budget, s.weights, 240);
+  const auto coca = sim::run_coca_constant_v(s, 100.0);
+  const double benchmark = lookahead.total_cost;
+  EXPECT_LE(coca.metrics.total_cost(), benchmark * 1.5);
+  EXPECT_GE(coca.metrics.total_cost(), benchmark * (1.0 - 0.01));
+}
+
+TEST_F(EndToEnd, DeficitQueueStaysBoundedRelativeToHorizon) {
+  // Theorem 2(a)'s O(sqrt(V T)) flavour: the queue should not grow linearly
+  // in time once COCA adapts.  Check q_max stays well under total usage.
+  const auto& s = scenario();
+  const auto coca = sim::run_coca_constant_v(s, 100.0);
+  const auto queue = coca.metrics.queue_series();
+  double max_q = 0.0;
+  for (double q : queue) max_q = std::max(max_q, q);
+  EXPECT_LT(max_q, 0.15 * coca.metrics.total_brown_kwh());
+}
+
+TEST_F(EndToEnd, QuarterlyVScheduleTradesCostForCarbonAcrossFrames) {
+  // Fig. 2(c)(d): small V early = expensive but carbon-frugal; raising V
+  // later cuts cost at the expense of deficit.
+  const auto& s = scenario();
+  core::CocaConfig config;
+  config.weights = s.weights;
+  config.alpha = s.budget.alpha();
+  config.rec_per_slot = s.budget.rec_per_slot();
+  config.schedule = core::VSchedule::frames({1.0, 1e8}, 360);
+  core::CocaController controller(s.fleet, config);
+  const auto result = sim::run_simulation(s.fleet, s.env, controller, s.weights);
+
+  double first_half_cost = 0.0, second_half_cost = 0.0;
+  double first_half_brown = 0.0, second_half_brown = 0.0;
+  for (std::size_t t = 0; t < 720; ++t) {
+    (t < 360 ? first_half_cost : second_half_cost) +=
+        result.metrics.slots()[t].total_cost;
+    (t < 360 ? first_half_brown : second_half_brown) +=
+        result.metrics.slots()[t].brown_kwh;
+  }
+  EXPECT_GT(second_half_brown, first_half_brown);
+  // Per-unit-workload cost falls in the second half; workloads are similar
+  // enough across halves that raw cost falling is the expected signature.
+  EXPECT_LT(second_half_cost, first_half_cost);
+}
+
+TEST_F(EndToEnd, AnalyticDelayMatchesDesOnRealDecision) {
+  // Take an actual COCA decision mid-run and replay it at job level.
+  const auto& s = scenario();
+  core::CocaConfig config;
+  config.weights = s.weights;
+  config.alpha = s.budget.alpha();
+  config.rec_per_slot = s.budget.rec_per_slot();
+  config.schedule = core::VSchedule::constant(1e4);
+  core::CocaController controller(s.fleet, config);
+  const std::size_t t = 300;
+  const auto plan = controller.plan(
+      t, {s.env.workload[t], s.env.onsite_kw[t], s.env.price[t]});
+  ASSERT_TRUE(plan.feasible);
+  // Replay a scaled-down copy: one representative server per group.
+  const double analytic = dc::total_delay_jobs(s.fleet, plan.alloc);
+  const double replayed = des::replay_delay_jobs(s.fleet, plan.alloc, 3'000.0, 5);
+  EXPECT_NEAR(replayed, analytic, 0.25 * analytic);
+}
+
+TEST_F(EndToEnd, PortfolioMixBarelyMattersAtFixedTotal) {
+  // Sec. 5.2.4: "with different combinations of off-site renewables and RECs
+  // (same total), COCA achieves almost the same cost (< 1% change)".  As in
+  // the paper, V is chosen per configuration so that neutrality is met; the
+  // comparison is between calibrated runs.
+  const auto& s = scenario();
+  auto calibrated_cost = [&](const energy::CarbonBudget& budget) {
+    sim::Environment env = s.env;
+    env.offsite_kwh = budget.offsite();
+    auto run_at = [&](double v) {
+      core::CocaConfig config;
+      config.weights = s.weights;
+      config.alpha = budget.alpha();
+      config.rec_per_slot = budget.rec_per_slot();
+      config.schedule = core::VSchedule::constant(v);
+      core::CocaController controller(s.fleet, config);
+      return sim::run_simulation(s.fleet, env, controller, s.weights);
+    };
+    const auto v_star = core::calibrate_v(
+        [&](double v) { return run_at(v).metrics.total_brown_kwh(); },
+        budget.total_allowance(), {.v_lo = 1.0, .v_hi = 1e9, .max_runs = 12});
+    return run_at(v_star.v).metrics.total_cost();
+  };
+  const double base = calibrated_cost(s.budget);
+  for (double share : {0.2, 0.6}) {
+    const double mixed = calibrated_cost(s.budget.with_mix(share));
+    EXPECT_NEAR(mixed, base, 0.03 * base) << "offsite share " << share;
+  }
+}
+
+TEST_F(EndToEnd, MsrScenarioEndToEnd) {
+  sim::ScenarioConfig config;
+  config.hours = 500;
+  config.fleet.total_servers = 20'000;
+  config.fleet.group_count = 8;
+  config.peak_rate = 100'000.0;
+  config.workload = sim::WorkloadKind::kMsrLike;
+  const auto s = sim::build_scenario(config);
+  const auto coca = sim::run_coca_constant_v(s, 50.0);
+  const auto unaware = sim::run_carbon_unaware(s.fleet, s.env, s.weights);
+  EXPECT_LT(coca.metrics.total_brown_kwh(), unaware.metrics.total_brown_kwh());
+  EXPECT_TRUE(s.budget.satisfied(coca.metrics.brown_series(), 0.05));
+}
+
+}  // namespace
+}  // namespace coca

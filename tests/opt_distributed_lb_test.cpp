@@ -1,0 +1,126 @@
+// Tests for the message-passing distributed load balancer: agreement with
+// the centralized dual solve, communication accounting, convergence.
+
+#include "opt/distributed_lb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coca::opt {
+namespace {
+
+SlotWeights test_weights() {
+  SlotWeights w;
+  w.V = 1.0;
+  w.beta = 0.01;
+  w.gamma = 0.9;
+  return w;
+}
+
+dc::Fleet mixed_fleet() {
+  const auto reference = dc::ServerSpec::opteron2380();
+  std::vector<dc::ServerGroup> groups;
+  groups.emplace_back(reference, 6);
+  groups.emplace_back(reference.scaled("mid", 0.9, 1.05), 6);
+  groups.emplace_back(reference.scaled("old", 0.8, 1.15), 6);
+  return dc::Fleet(std::move(groups));
+}
+
+dc::Allocation all_on(const dc::Fleet& fleet) {
+  dc::Allocation alloc(fleet.group_count());
+  for (std::size_t g = 0; g < alloc.size(); ++g) {
+    alloc[g].level = fleet.group(g).spec().level_count() - 1;
+    alloc[g].active = static_cast<double>(fleet.group(g).server_count());
+  }
+  return alloc;
+}
+
+TEST(DistributedLb, AgreesWithCentralizedSolve) {
+  const auto fleet = mixed_fleet();
+  const auto w = test_weights();
+  for (double mu : {0.06, 0.5, 5.0}) {
+    auto central = all_on(fleet);
+    balance_loads_linear(fleet, central, 100.0, mu, w);
+    auto distributed = all_on(fleet);
+    const auto result = distribute_loads_message_passing(fleet, distributed,
+                                                         100.0, mu, w);
+    ASSERT_TRUE(result.converged) << "mu " << mu;
+    for (std::size_t g = 0; g < fleet.group_count(); ++g) {
+      EXPECT_NEAR(distributed[g].load, central[g].load,
+                  1e-3 * std::max(1.0, central[g].load))
+          << "mu " << mu << " group " << g;
+    }
+  }
+}
+
+TEST(DistributedLb, ServesLambdaExactly) {
+  const auto fleet = mixed_fleet();
+  auto alloc = all_on(fleet);
+  const auto result = distribute_loads_message_passing(fleet, alloc, 117.0,
+                                                       0.1, test_weights());
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(dc::total_load(alloc), 117.0, 1e-6 * 117.0);
+}
+
+TEST(DistributedLb, MessageCountIsRoundsTimesAgents) {
+  const auto fleet = mixed_fleet();
+  auto alloc = all_on(fleet);
+  alloc[1].active = 0.0;  // one group sleeps: it must not talk
+  const auto result = distribute_loads_message_passing(fleet, alloc, 60.0,
+                                                       0.1, test_weights());
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.messages, result.rounds * 2);
+  EXPECT_DOUBLE_EQ(alloc[1].load, 0.0);
+}
+
+TEST(DistributedLb, ConvergesWithinBudgetAndTolerance) {
+  const auto fleet = mixed_fleet();
+  auto alloc = all_on(fleet);
+  DistributedLbConfig config;
+  config.rel_tolerance = 1e-8;
+  const auto result = distribute_loads_message_passing(fleet, alloc, 100.0,
+                                                       0.06, test_weights(),
+                                                       config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LE(result.supply_gap, 1e-8 * 100.0);
+  // Bisection halves the bracket each round: ~60 rounds is plenty.
+  EXPECT_LE(result.rounds, 80);
+}
+
+TEST(DistributedLb, InfeasibleCapacityReported) {
+  const auto fleet = mixed_fleet();
+  auto alloc = all_on(fleet);
+  const auto result = distribute_loads_message_passing(fleet, alloc, 1e6, 0.1,
+                                                       test_weights());
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(DistributedLb, ZeroLambdaTrivial) {
+  const auto fleet = mixed_fleet();
+  auto alloc = all_on(fleet);
+  const auto result = distribute_loads_message_passing(fleet, alloc, 0.0, 0.1,
+                                                       test_weights());
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 0);
+  EXPECT_DOUBLE_EQ(dc::total_load(alloc), 0.0);
+}
+
+TEST(DistributedLb, TighterToleranceCostsMoreRounds) {
+  const auto fleet = mixed_fleet();
+  DistributedLbConfig loose, tight;
+  loose.rel_tolerance = 1e-3;
+  tight.rel_tolerance = 1e-9;
+  auto a1 = all_on(fleet);
+  auto a2 = all_on(fleet);
+  const auto r_loose = distribute_loads_message_passing(fleet, a1, 100.0, 0.06,
+                                                        test_weights(), loose);
+  const auto r_tight = distribute_loads_message_passing(fleet, a2, 100.0, 0.06,
+                                                        test_weights(), tight);
+  ASSERT_TRUE(r_loose.converged);
+  ASSERT_TRUE(r_tight.converged);
+  EXPECT_LT(r_loose.rounds, r_tight.rounds);
+}
+
+}  // namespace
+}  // namespace coca::opt

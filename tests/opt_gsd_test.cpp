@@ -1,0 +1,203 @@
+// Tests for GSD (Algorithm 2): the acceptance rule, convergence toward the
+// global optimum (Theorem 1's claim), temperature effects, initial-point
+// insensitivity (Fig. 4(b)) and feasibility handling.
+
+#include "opt/gsd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "opt/exhaustive_solver.hpp"
+
+namespace coca::opt {
+namespace {
+
+SlotWeights test_weights(double q = 0.0) {
+  SlotWeights w;
+  w.V = 1.0;
+  w.q = q;
+  w.beta = 0.01;
+  w.gamma = 0.9;
+  return w;
+}
+
+dc::Fleet small_fleet() {
+  return dc::make_default_fleet({.total_servers = 6,
+                                 .group_count = 2,
+                                 .generations = 2,
+                                 .speed_spread = 0.2,
+                                 .power_spread = 0.15,
+                                 .seed = 5});
+}
+
+TEST(GsdAcceptance, MatchesPaperFormula) {
+  // u = exp(d/ge) / (exp(d/ge) + exp(d/gk)).
+  const double delta = 3.0, ge = 1.5, gk = 2.0;
+  const double expected =
+      std::exp(delta / ge) / (std::exp(delta / ge) + std::exp(delta / gk));
+  EXPECT_NEAR(GsdSolver::acceptance_probability(delta, ge, gk), expected, 1e-12);
+}
+
+TEST(GsdAcceptance, EqualObjectivesGiveHalf) {
+  EXPECT_DOUBLE_EQ(GsdSolver::acceptance_probability(10.0, 2.0, 2.0), 0.5);
+}
+
+TEST(GsdAcceptance, BetterExplorationFavoredMoreAtHigherTemperature) {
+  const double ge = 1.0, gk = 2.0;  // exploration better (smaller objective)
+  const double low = GsdSolver::acceptance_probability(1.0, ge, gk);
+  const double high = GsdSolver::acceptance_probability(100.0, ge, gk);
+  EXPECT_GT(high, low);
+  EXPECT_GT(low, 0.5);
+  EXPECT_NEAR(high, 1.0, 1e-6);
+}
+
+TEST(GsdAcceptance, WorseExplorationStillPossible) {
+  // The deliberate randomness of line 5: a worse exploration is accepted
+  // with positive probability (that is what escapes local optima).
+  const double u = GsdSolver::acceptance_probability(1.0, 3.0, 2.0);
+  EXPECT_GT(u, 0.0);
+  EXPECT_LT(u, 0.5);
+}
+
+TEST(GsdAcceptance, InfiniteObjectivesHandled) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(GsdSolver::acceptance_probability(10.0, inf, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(GsdSolver::acceptance_probability(10.0, 2.0, inf), 1.0);
+}
+
+TEST(GsdAcceptance, ExtremeTemperatureDoesNotOverflow) {
+  const double u = GsdSolver::acceptance_probability(1e308, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(u, 1.0);
+  const double v = GsdSolver::acceptance_probability(1e308, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Gsd, ConvergesNearExhaustiveOptimumAtHighTemperature) {
+  const auto fleet = small_fleet();
+  const SlotInput input{20.0, 0.0, 0.06};
+  const auto w = test_weights();
+  const auto exact = ExhaustiveSolver().solve(fleet, input, w);
+
+  GsdConfig config;
+  config.iterations = 1'500;
+  config.delta = 1e4;
+  config.seed = 3;
+  const auto result = GsdSolver(config).solve(fleet, input, w);
+  ASSERT_TRUE(result.best.feasible);
+  EXPECT_LE(result.best.outcome.objective,
+            exact.outcome.objective * 1.02 + 1e-9);
+  EXPECT_GE(result.best.outcome.objective,
+            exact.outcome.objective * (1.0 - 1e-9));
+}
+
+TEST(Gsd, HigherTemperatureFindsBetterSolutions) {
+  const auto fleet = small_fleet();
+  const SlotInput input{20.0, 0.0, 0.06};
+  const auto w = test_weights();
+  double hot_obj = 0.0, cold_obj = 0.0;
+  // Average over seeds: the chain is stochastic.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    GsdConfig cold;
+    cold.iterations = 300;
+    cold.delta = 1e-3;  // near-uniform random walk
+    cold.seed = seed;
+    GsdConfig hot = cold;
+    hot.delta = 1e4;
+    cold_obj += GsdSolver(cold).solve(fleet, input, w).solution.outcome.objective;
+    hot_obj += GsdSolver(hot).solve(fleet, input, w).solution.outcome.objective;
+  }
+  EXPECT_LT(hot_obj, cold_obj);
+}
+
+TEST(Gsd, InsensitiveToInitialPoint) {
+  // Fig. 4(b): different initial points converge to (almost) the same cost.
+  const auto fleet = small_fleet();
+  const SlotInput input{20.0, 0.0, 0.06};
+  const auto w = test_weights();
+  GsdConfig config;
+  config.iterations = 1'200;
+  config.delta = 1e4;
+  config.seed = 11;
+
+  const auto from_default = GsdSolver(config).solve(fleet, input, w);
+  dc::Allocation half_on(fleet.group_count());
+  for (std::size_t g = 0; g < half_on.size(); ++g) {
+    half_on[g].level = 0;
+    half_on[g].active = g == 0 ? 3.0 : 0.0;
+  }
+  const auto from_half = GsdSolver(config).solve(fleet, input, w, half_on);
+  EXPECT_NEAR(from_default.best.outcome.objective,
+              from_half.best.outcome.objective,
+              0.05 * from_default.best.outcome.objective);
+}
+
+TEST(Gsd, TrajectoryRecordedWhenRequested) {
+  const auto fleet = small_fleet();
+  GsdConfig config;
+  config.iterations = 50;
+  config.record_trajectory = true;
+  const auto result =
+      GsdSolver(config).solve(fleet, {10.0, 0.0, 0.06}, test_weights());
+  EXPECT_EQ(result.trajectory.size(), 50u);
+  EXPECT_EQ(result.evaluations > 0, true);
+}
+
+TEST(Gsd, BestNeverWorseThanFinalKept) {
+  const auto fleet = small_fleet();
+  GsdConfig config;
+  config.iterations = 400;
+  config.delta = 50.0;
+  config.seed = 9;
+  const auto result =
+      GsdSolver(config).solve(fleet, {25.0, 0.0, 0.06}, test_weights());
+  EXPECT_LE(result.best.outcome.objective,
+            result.solution.outcome.objective + 1e-9);
+}
+
+TEST(Gsd, DeterministicPerSeed) {
+  const auto fleet = small_fleet();
+  GsdConfig config;
+  config.iterations = 200;
+  config.seed = 42;
+  const auto a = GsdSolver(config).solve(fleet, {15.0, 0.0, 0.06}, test_weights());
+  const auto b = GsdSolver(config).solve(fleet, {15.0, 0.0, 0.06}, test_weights());
+  EXPECT_DOUBLE_EQ(a.solution.outcome.objective, b.solution.outcome.objective);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+TEST(Gsd, AdaptiveTemperatureImprovesOverColdStart) {
+  const auto fleet = small_fleet();
+  const SlotInput input{20.0, 0.0, 0.06};
+  const auto w = test_weights();
+  GsdConfig adaptive;
+  adaptive.iterations = 800;
+  adaptive.adaptive = true;
+  adaptive.delta_initial = 1.0;
+  adaptive.delta_growth = 1.02;
+  adaptive.seed = 2;
+  const auto result = GsdSolver(adaptive).solve(fleet, input, w);
+  const auto exact = ExhaustiveSolver().solve(fleet, input, w);
+  EXPECT_LE(result.best.outcome.objective, exact.outcome.objective * 1.05);
+}
+
+TEST(Gsd, HandlesDeficitPressure) {
+  // With a large queue, GSD should find lower-energy configurations.
+  const auto fleet = small_fleet();
+  GsdConfig config;
+  config.iterations = 1'000;
+  config.delta = 1e4;
+  config.seed = 13;
+  const auto relaxed =
+      GsdSolver(config).solve(fleet, {20.0, 0.0, 0.06}, test_weights(0.0));
+  const auto pressured =
+      GsdSolver(config).solve(fleet, {20.0, 0.0, 0.06}, test_weights(50.0));
+  ASSERT_TRUE(relaxed.best.feasible);
+  ASSERT_TRUE(pressured.best.feasible);
+  EXPECT_LE(pressured.best.outcome.brown_kwh,
+            relaxed.best.outcome.brown_kwh * (1.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace coca::opt

@@ -1,0 +1,120 @@
+// Tests for the runtime under-provisioning path: minimal capacity expansion
+// (opt::expanded_to_capacity) and the simulator's fallback billing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/carbon_unaware.hpp"
+#include "opt/load_balancer.hpp"
+#include "sim/scenario.hpp"
+#include "workload/transforms.hpp"
+
+namespace coca {
+namespace {
+
+TEST(ExpandedToCapacity, NoChangeWhenCapacitySuffices) {
+  const auto fleet = dc::make_homogeneous_fleet(2, 10);
+  dc::Allocation planned(2);
+  planned[0] = {3, 5.0, 0.0};
+  planned[1] = {3, 5.0, 0.0};
+  const auto expanded = opt::expanded_to_capacity(fleet, planned, 50.0, 0.9);
+  EXPECT_DOUBLE_EQ(expanded[0].active, 5.0);
+  EXPECT_DOUBLE_EQ(expanded[1].active, 5.0);
+  EXPECT_EQ(expanded[0].level, 3u);
+}
+
+TEST(ExpandedToCapacity, ProportionalWakeupFirst) {
+  const auto fleet = dc::make_homogeneous_fleet(2, 10);
+  dc::Allocation planned(2);
+  planned[0] = {3, 4.0, 0.0};
+  planned[1] = {3, 4.0, 0.0};
+  // Capacity = 0.9*10*8 = 72; ask for 90: need ~10 servers at top speed.
+  const auto expanded = opt::expanded_to_capacity(fleet, planned, 90.0, 0.9);
+  EXPECT_GE(dc::capped_capacity(fleet, expanded, 0.9), 90.0);
+  // Proportional: both groups grew, nobody jumped to "everything on".
+  EXPECT_GT(expanded[0].active, 4.0);
+  EXPECT_GT(expanded[1].active, 4.0);
+  EXPECT_LE(dc::total_active_servers(expanded), 12.0);
+}
+
+TEST(ExpandedToCapacity, RaisesSpeedWhenAllServersBusy) {
+  const auto fleet = dc::make_homogeneous_fleet(1, 10);
+  dc::Allocation planned(1);
+  planned[0] = {0, 10.0, 0.0};  // all on at the slowest speed: cap 28.8
+  const auto expanded = opt::expanded_to_capacity(fleet, planned, 60.0, 0.9);
+  EXPECT_EQ(expanded[0].level, 3u);  // bumped to top speed
+  EXPECT_GE(dc::capped_capacity(fleet, expanded, 0.9), 60.0);
+}
+
+TEST(ExpandedToCapacity, WakesSleepingGroupsLast) {
+  const auto fleet = dc::make_homogeneous_fleet(2, 10);
+  dc::Allocation planned(2);
+  planned[0] = {3, 10.0, 0.0};  // group 0 maxed: cap 90
+  planned[1] = {3, 0.0, 0.0};   // group 1 asleep
+  const auto expanded = opt::expanded_to_capacity(fleet, planned, 120.0, 0.9);
+  EXPECT_GE(dc::capped_capacity(fleet, expanded, 0.9), 120.0);
+  EXPECT_GT(expanded[1].active, 0.0);
+  // Only as many as needed: 120-90=30 extra => 4 servers at 9 req/s each.
+  EXPECT_LE(expanded[1].active, 5.0);
+}
+
+TEST(ExpandedToCapacity, LoadsClearedForRebalance) {
+  const auto fleet = dc::make_homogeneous_fleet(1, 4);
+  dc::Allocation planned(1);
+  planned[0] = {3, 2.0, 15.0};
+  const auto expanded = opt::expanded_to_capacity(fleet, planned, 30.0, 0.9);
+  EXPECT_DOUBLE_EQ(expanded[0].load, 0.0);
+}
+
+TEST(SimulatorFallback, UnderestimateTriggersProportionateExpansion) {
+  // Plan with a *halved* forecast: every slot under-provisions, yet billing
+  // must stay feasible and the fleet must not jump to everything-on.
+  sim::ScenarioConfig config;
+  config.hours = 100;
+  config.fleet.total_servers = 20'000;
+  config.fleet.group_count = 8;
+  config.peak_rate = 100'000.0;
+  const auto scenario = sim::build_scenario(config);
+
+  sim::Environment env = scenario.env.with_planning(
+      scenario.env.workload.scaled(0.5));
+  baselines::CarbonUnawareController controller(scenario.fleet,
+                                                scenario.weights);
+  const auto result = sim::run_simulation(scenario.fleet, env, controller,
+                                          scenario.weights);
+  EXPECT_GT(result.infeasible_slots, 0u);
+  // Every slot was billed (served the actual workload).
+  for (const auto& slot : result.metrics.slots()) {
+    ASSERT_GT(slot.total_cost, 0.0);
+  }
+  // Proportionate response: the average active count stays well below the
+  // full fleet.
+  double active = 0.0;
+  for (const auto& slot : result.metrics.slots()) active += slot.active_servers;
+  active /= static_cast<double>(result.metrics.slot_count());
+  EXPECT_LT(active, 0.9 * static_cast<double>(scenario.fleet.total_servers()));
+}
+
+TEST(SimulatorFallback, CostPenaltyOfUnderestimationIsBounded) {
+  sim::ScenarioConfig config;
+  config.hours = 150;
+  config.fleet.total_servers = 20'000;
+  config.fleet.group_count = 8;
+  config.peak_rate = 100'000.0;
+  const auto scenario = sim::build_scenario(config);
+
+  baselines::CarbonUnawareController exact_ctrl(scenario.fleet, scenario.weights);
+  const auto exact = sim::run_simulation(scenario.fleet, scenario.env,
+                                         exact_ctrl, scenario.weights);
+  sim::Environment noisy_env = scenario.env.with_planning(
+      workload::with_prediction_error(scenario.env.workload, 0.15, 3));
+  baselines::CarbonUnawareController noisy_ctrl(scenario.fleet, scenario.weights);
+  const auto noisy = sim::run_simulation(scenario.fleet, noisy_env, noisy_ctrl,
+                                         scenario.weights);
+  // +/-15% forecast error should cost only a few percent.
+  EXPECT_LT(noisy.metrics.total_cost(), exact.metrics.total_cost() * 1.10);
+}
+
+}  // namespace
+}  // namespace coca

@@ -1,0 +1,123 @@
+// Empirical checks of Theorem 2's structure: the O(1/V) cost gap against the
+// T-step lookahead benchmark and the O(sqrt(V)) queue growth, plus the
+// telescoping inequality (Eq. 27) that links queue length to constraint
+// slack on *real* simulation output.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/lookahead.hpp"
+#include "core/coca_controller.hpp"
+#include "sim/scenario.hpp"
+
+namespace coca {
+namespace {
+
+const sim::Scenario& scenario() {
+  static const sim::Scenario s = [] {
+    sim::ScenarioConfig config;
+    config.hours = 600;
+    config.fleet.total_servers = 20'000;
+    config.fleet.group_count = 8;
+    config.peak_rate = 100'000.0;
+    return sim::build_scenario(config);
+  }();
+  return s;
+}
+
+TEST(Theorem2, CostGapToLookaheadShrinksAsVGrows) {
+  // Part (b): g* <= benchmark + C(T)/V.  The empirical gap to the lookahead
+  // benchmark should shrink (weakly) as V grows.
+  const auto& s = scenario();
+  const auto lookahead = baselines::solve_lookahead(
+      s.fleet, s.env.workload.values(), s.env.onsite_kw.values(),
+      s.env.price.values(), s.budget, s.weights, 600);
+  const double benchmark = lookahead.total_cost;
+
+  std::vector<double> gaps;
+  for (double v : {1e2, 1e4, 1e6, 1e8}) {
+    const auto run = sim::run_coca_constant_v(s, v);
+    gaps.push_back(run.metrics.total_cost() - benchmark);
+  }
+  // Weak monotone decrease with a small tolerance for sampling noise.
+  for (std::size_t i = 1; i < gaps.size(); ++i) {
+    EXPECT_LE(gaps[i], gaps[i - 1] + 0.02 * std::abs(gaps[i - 1]) + 1.0)
+        << "gap increased from V index " << i - 1 << " to " << i;
+  }
+  // And the largest V should land essentially on/below the benchmark-with-
+  // slack region: within 30% above it.
+  EXPECT_LE(gaps.back(), 0.3 * benchmark);
+}
+
+TEST(Theorem2, QueueExcursionGrowsSublinearlyInV) {
+  // Part (a)'s flavour: the deviation bound scales like sqrt(C + V*(...)),
+  // i.e. the peak queue grows with V but sublinearly (doubling V should far
+  // less than double q_max in the saturation regime).
+  const auto& s = scenario();
+  std::vector<double> v_values = {1e4, 1e5, 1e6};
+  std::vector<double> q_max;
+  for (double v : v_values) {
+    const auto run = sim::run_coca_constant_v(s, v);
+    const auto queue = run.metrics.queue_series();
+    q_max.push_back(*std::max_element(queue.begin(), queue.end()));
+  }
+  // Monotone nondecreasing in V ...
+  EXPECT_LE(q_max[0], q_max[1] * (1.0 + 1e-9));
+  EXPECT_LE(q_max[1], q_max[2] * (1.0 + 1e-9));
+  // ... but with strongly diminishing ratios: 10x V should grow q_max by
+  // far less than 10x.
+  if (q_max[0] > 0.0) {
+    EXPECT_LT(q_max[2] / q_max[0], 20.0);
+  }
+}
+
+TEST(Theorem2, TelescopingInequalityHoldsOnRealRun) {
+  // Eq. 27: (1/T) sum y(t) <= (1/T) sum allowance(t) + q(T)/T, per frame.
+  // Verify on real COCA output with quarterly frames.
+  const auto& s = scenario();
+  core::CocaConfig config;
+  config.weights = s.weights;
+  config.alpha = s.budget.alpha();
+  config.rec_per_slot = s.budget.rec_per_slot();
+  config.schedule = core::VSchedule::frames({1e4, 1e5, 1e4, 1e6}, 150);
+  core::CocaController controller(s.fleet, config);
+  const auto run = sim::run_simulation(s.fleet, s.env, controller, s.weights);
+
+  const auto& slots = run.metrics.slots();
+  for (std::size_t frame = 0; frame < 4; ++frame) {
+    double usage = 0.0, allowance = 0.0;
+    for (std::size_t t = frame * 150; t < (frame + 1) * 150; ++t) {
+      usage += slots[t].brown_kwh;
+      allowance += s.budget.slot_allowance(t);
+    }
+    const double q_end = slots[(frame + 1) * 150 - 1].queue_length;
+    EXPECT_LE(usage, allowance + q_end + 1e-6)
+        << "Eq. 27 violated in frame " << frame;
+  }
+}
+
+TEST(Theorem2, ZeroQueueImpliesNeutralitySoFar) {
+  // Whenever the queue is empty, cumulative usage up to that slot cannot
+  // exceed the cumulative allowance (the queue is exactly the running
+  // excess, clamped at zero).
+  const auto& s = scenario();
+  const auto run = sim::run_coca_constant_v(s, 1e4);
+  const auto& slots = run.metrics.slots();
+  double usage = 0.0, allowance = 0.0;
+  std::size_t checked = 0;
+  for (std::size_t t = 0; t < slots.size(); ++t) {
+    usage += slots[t].brown_kwh;
+    allowance += s.budget.slot_allowance(t);
+    if (slots[t].queue_length <= 1e-9) {
+      EXPECT_LE(usage, allowance + 1e-6) << "slot " << t;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);  // the property was actually exercised
+}
+
+}  // namespace
+}  // namespace coca

@@ -1,0 +1,91 @@
+// Tests for CSV parsing/writing and the console table printer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace coca::util {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row({1.0, 2.5});
+  csv.row("label", {3.0});
+  EXPECT_EQ(out.str(), "a,b\n1,2.5\nlabel,3\n");
+}
+
+TEST(ParseCsv, RoundTrip) {
+  const auto table = parse_csv("x,y\n1,2\n3,4\n");
+  ASSERT_EQ(table.columns.size(), 2u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.columns[0], "x");
+  EXPECT_DOUBLE_EQ(table.rows[1][1], 4.0);
+}
+
+TEST(ParseCsv, TrimsWhitespaceAndCarriageReturns) {
+  const auto table = parse_csv("a, b\r\n 1 , 2 \r\n");
+  EXPECT_EQ(table.columns[1], "b");
+  EXPECT_DOUBLE_EQ(table.rows[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(table.rows[0][1], 2.0);
+}
+
+TEST(ParseCsv, NonNumericBecomesNaN) {
+  const auto table = parse_csv("a\nhello\n");
+  EXPECT_TRUE(std::isnan(table.rows[0][0]));
+}
+
+TEST(ParseCsv, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::invalid_argument);
+}
+
+TEST(ParseCsv, SkipsBlankLines) {
+  const auto table = parse_csv("a\n\n1\n\n2\n");
+  EXPECT_EQ(table.rows.size(), 2u);
+}
+
+TEST(CsvTable, ColumnLookup) {
+  const auto table = parse_csv("t,v\n0,10\n1,20\n");
+  const auto v = table.column("v");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[1], 20.0);
+  EXPECT_THROW(table.column("missing"), std::out_of_range);
+}
+
+TEST(Table, RejectsEmptyColumnsAndWidthMismatch) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), 22.0});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvOutputParsesBack) {
+  Table t({"x", "y"});
+  t.add_row({1.0, 2.0});
+  std::ostringstream out;
+  t.print_csv(out);
+  const auto parsed = parse_csv(out.str());
+  EXPECT_DOUBLE_EQ(parsed.rows[0][1], 2.0);
+}
+
+}  // namespace
+}  // namespace coca::util

@@ -1,0 +1,70 @@
+// Tests for the moving/running average machinery behind Figs. 2(c)(d) and 3.
+
+#include "util/moving_average.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace coca::util {
+namespace {
+
+TEST(MovingAverage, RejectsZeroWindow) {
+  EXPECT_THROW(MovingAverage(0), std::invalid_argument);
+}
+
+TEST(MovingAverage, WarmupAveragesAvailableValues) {
+  MovingAverage ma(3);
+  EXPECT_DOUBLE_EQ(ma.push(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(ma.push(5.0), 4.0);
+  EXPECT_DOUBLE_EQ(ma.push(7.0), 5.0);
+}
+
+TEST(MovingAverage, SlidesAfterWarmup) {
+  MovingAverage ma(2);
+  ma.push(1.0);
+  ma.push(3.0);
+  EXPECT_DOUBLE_EQ(ma.push(5.0), 4.0);   // (3+5)/2
+  EXPECT_DOUBLE_EQ(ma.push(11.0), 8.0);  // (5+11)/2
+  EXPECT_EQ(ma.size(), 2u);
+}
+
+TEST(MovingAverage, ValueOnEmptyIsZero) {
+  MovingAverage ma(4);
+  EXPECT_DOUBLE_EQ(ma.value(), 0.0);
+}
+
+TEST(MovingAverageSeries, MatchesManualComputation) {
+  const std::vector<double> xs = {2, 4, 6, 8, 10};
+  const auto out = moving_average_series(xs, 2);
+  const std::vector<double> expected = {2, 3, 5, 7, 9};
+  ASSERT_EQ(out.size(), expected.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], expected[i]);
+  }
+}
+
+TEST(MovingAverageSeries, WindowLargerThanSeriesIsRunningAverage) {
+  const std::vector<double> xs = {1, 2, 3};
+  const auto ma = moving_average_series(xs, 100);
+  const auto ra = running_average_series(xs);
+  ASSERT_EQ(ma.size(), ra.size());
+  for (std::size_t i = 0; i < ma.size(); ++i) EXPECT_DOUBLE_EQ(ma[i], ra[i]);
+}
+
+TEST(RunningAverageSeries, MatchesPaperFootnoteDefinition) {
+  // Fig. 3 footnote: average at t = sum from 0..t divided by t+1.
+  const std::vector<double> xs = {4, 0, 8};
+  const auto out = running_average_series(xs);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 4.0);
+}
+
+TEST(RunningAverageSeries, EmptyInput) {
+  EXPECT_TRUE(running_average_series({}).empty());
+}
+
+}  // namespace
+}  // namespace coca::util

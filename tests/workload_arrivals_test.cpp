@@ -1,0 +1,81 @@
+// Tests for the job-level arrival sampler feeding the DES substrate.
+
+#include "workload/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace coca::workload {
+namespace {
+
+TEST(PoissonJobs, CountMatchesRate) {
+  const auto jobs = sample_poisson_jobs(50.0, 1000.0, {.seed = 1});
+  // 50 jobs/s * 1000 s = 50000 expected, sd ~ sqrt(50000) ~ 224.
+  EXPECT_NEAR(static_cast<double>(jobs.size()), 50000.0, 1200.0);
+}
+
+TEST(PoissonJobs, ArrivalsSortedWithinDuration) {
+  const auto jobs = sample_poisson_jobs(10.0, 100.0, {.seed = 2});
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    ASSERT_GE(jobs[i].arrival_time, jobs[i - 1].arrival_time);
+  }
+  ASSERT_FALSE(jobs.empty());
+  EXPECT_LT(jobs.back().arrival_time, 100.0);
+  EXPECT_GE(jobs.front().arrival_time, 0.0);
+}
+
+TEST(PoissonJobs, WorkIsExponentialWithConfiguredMean) {
+  const auto jobs =
+      sample_poisson_jobs(100.0, 500.0, {.mean_service_seconds = 0.1, .seed = 3});
+  util::RunningStats stats;
+  for (const auto& job : jobs) {
+    ASSERT_GT(job.work, 0.0);
+    stats.add(job.work);
+  }
+  EXPECT_NEAR(stats.mean(), 0.1, 0.003);
+  EXPECT_NEAR(stats.stddev(), 0.1, 0.005);  // exponential: sd == mean
+}
+
+TEST(PoissonJobs, InterarrivalsExponential) {
+  const auto jobs = sample_poisson_jobs(20.0, 2000.0, {.seed = 4});
+  util::RunningStats gaps;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    gaps.add(jobs[i].arrival_time - jobs[i - 1].arrival_time);
+  }
+  EXPECT_NEAR(gaps.mean(), 0.05, 0.002);
+}
+
+TEST(PoissonJobs, ZeroRateGivesNoJobs) {
+  EXPECT_TRUE(sample_poisson_jobs(0.0, 100.0).empty());
+}
+
+TEST(PoissonJobs, NegativeInputsThrow) {
+  EXPECT_THROW(sample_poisson_jobs(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(sample_poisson_jobs(1.0, -10.0), std::invalid_argument);
+}
+
+TEST(TraceJobs, PiecewiseRatesFollowTrace) {
+  const Trace trace("t", {100.0, 0.0, 200.0});
+  const auto jobs = sample_trace_jobs(trace, 0, 3, 100.0, {.seed = 5});
+  std::size_t in0 = 0, in1 = 0, in2 = 0;
+  for (const auto& job : jobs) {
+    if (job.arrival_time < 100.0) ++in0;
+    else if (job.arrival_time < 200.0) ++in1;
+    else ++in2;
+  }
+  EXPECT_NEAR(static_cast<double>(in0), 10000.0, 500.0);
+  EXPECT_EQ(in1, 0u);
+  EXPECT_NEAR(static_cast<double>(in2), 20000.0, 700.0);
+}
+
+TEST(TraceJobs, RangeChecked) {
+  const Trace trace("t", {1.0, 2.0});
+  EXPECT_THROW(sample_trace_jobs(trace, 1, 2, 10.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace coca::workload
