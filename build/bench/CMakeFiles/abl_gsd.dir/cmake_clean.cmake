@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gsd.dir/abl_gsd.cpp.o"
+  "CMakeFiles/abl_gsd.dir/abl_gsd.cpp.o.d"
+  "abl_gsd"
+  "abl_gsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lookahead.dir/abl_lookahead.cpp.o"
+  "CMakeFiles/abl_lookahead.dir/abl_lookahead.cpp.o.d"
+  "abl_lookahead"
+  "abl_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

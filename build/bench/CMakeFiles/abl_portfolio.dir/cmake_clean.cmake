@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_portfolio.dir/abl_portfolio.cpp.o"
+  "CMakeFiles/abl_portfolio.dir/abl_portfolio.cpp.o.d"
+  "abl_portfolio"
+  "abl_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_prediction.dir/abl_prediction.cpp.o"
+  "CMakeFiles/abl_prediction.dir/abl_prediction.cpp.o.d"
+  "abl_prediction"
+  "abl_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_recs.dir/abl_recs.cpp.o"
+  "CMakeFiles/abl_recs.dir/abl_recs.cpp.o.d"
+  "abl_recs"
+  "abl_recs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_recs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

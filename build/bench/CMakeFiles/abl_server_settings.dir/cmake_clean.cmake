@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_server_settings.dir/abl_server_settings.cpp.o"
+  "CMakeFiles/abl_server_settings.dir/abl_server_settings.cpp.o.d"
+  "abl_server_settings"
+  "abl_server_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_server_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_impact_of_v.dir/fig2_impact_of_v.cpp.o"
+  "CMakeFiles/fig2_impact_of_v.dir/fig2_impact_of_v.cpp.o.d"
+  "fig2_impact_of_v"
+  "fig2_impact_of_v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_impact_of_v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_impact_of_v.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vs_perfecthp.dir/fig3_vs_perfecthp.cpp.o"
+  "CMakeFiles/fig3_vs_perfecthp.dir/fig3_vs_perfecthp.cpp.o.d"
+  "fig3_vs_perfecthp"
+  "fig3_vs_perfecthp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vs_perfecthp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_gsd.dir/fig4_gsd.cpp.o"
+  "CMakeFiles/fig4_gsd.dir/fig4_gsd.cpp.o.d"
+  "fig4_gsd"
+  "fig4_gsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_gsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

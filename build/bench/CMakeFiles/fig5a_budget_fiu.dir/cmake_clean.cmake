@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_budget_fiu.dir/fig5a_budget_fiu.cpp.o"
+  "CMakeFiles/fig5a_budget_fiu.dir/fig5a_budget_fiu.cpp.o.d"
+  "fig5a_budget_fiu"
+  "fig5a_budget_fiu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_budget_fiu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_budget_msr.dir/fig5b_budget_msr.cpp.o"
+  "CMakeFiles/fig5b_budget_msr.dir/fig5b_budget_msr.cpp.o.d"
+  "fig5b_budget_msr"
+  "fig5b_budget_msr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_budget_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_overestimation.dir/fig5c_overestimation.cpp.o"
+  "CMakeFiles/fig5c_overestimation.dir/fig5c_overestimation.cpp.o.d"
+  "fig5c_overestimation"
+  "fig5c_overestimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_overestimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

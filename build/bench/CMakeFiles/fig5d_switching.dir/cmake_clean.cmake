@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5d_switching.dir/fig5d_switching.cpp.o"
+  "CMakeFiles/fig5d_switching.dir/fig5d_switching.cpp.o.d"
+  "fig5d_switching"
+  "fig5d_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

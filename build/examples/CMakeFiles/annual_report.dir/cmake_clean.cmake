@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annual_report.dir/annual_report.cpp.o"
+  "CMakeFiles/annual_report.dir/annual_report.cpp.o.d"
+  "annual_report"
+  "annual_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annual_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsd_cluster.dir/gsd_cluster.cpp.o"
+  "CMakeFiles/gsd_cluster.dir/gsd_cluster.cpp.o.d"
+  "gsd_cluster"
+  "gsd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsd_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

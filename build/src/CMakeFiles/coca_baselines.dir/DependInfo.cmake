@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/carbon_unaware.cpp" "src/CMakeFiles/coca_baselines.dir/baselines/carbon_unaware.cpp.o" "gcc" "src/CMakeFiles/coca_baselines.dir/baselines/carbon_unaware.cpp.o.d"
+  "/root/repo/src/baselines/lookahead.cpp" "src/CMakeFiles/coca_baselines.dir/baselines/lookahead.cpp.o" "gcc" "src/CMakeFiles/coca_baselines.dir/baselines/lookahead.cpp.o.d"
+  "/root/repo/src/baselines/offline_opt.cpp" "src/CMakeFiles/coca_baselines.dir/baselines/offline_opt.cpp.o" "gcc" "src/CMakeFiles/coca_baselines.dir/baselines/offline_opt.cpp.o.d"
+  "/root/repo/src/baselines/perfect_hp.cpp" "src/CMakeFiles/coca_baselines.dir/baselines/perfect_hp.cpp.o" "gcc" "src/CMakeFiles/coca_baselines.dir/baselines/perfect_hp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

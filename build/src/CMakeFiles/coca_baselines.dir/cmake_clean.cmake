@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_baselines.dir/baselines/carbon_unaware.cpp.o"
+  "CMakeFiles/coca_baselines.dir/baselines/carbon_unaware.cpp.o.d"
+  "CMakeFiles/coca_baselines.dir/baselines/lookahead.cpp.o"
+  "CMakeFiles/coca_baselines.dir/baselines/lookahead.cpp.o.d"
+  "CMakeFiles/coca_baselines.dir/baselines/offline_opt.cpp.o"
+  "CMakeFiles/coca_baselines.dir/baselines/offline_opt.cpp.o.d"
+  "CMakeFiles/coca_baselines.dir/baselines/perfect_hp.cpp.o"
+  "CMakeFiles/coca_baselines.dir/baselines/perfect_hp.cpp.o.d"
+  "libcoca_baselines.a"
+  "libcoca_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/CMakeFiles/coca_core.dir/core/calibration.cpp.o" "gcc" "src/CMakeFiles/coca_core.dir/core/calibration.cpp.o.d"
+  "/root/repo/src/core/coca_controller.cpp" "src/CMakeFiles/coca_core.dir/core/coca_controller.cpp.o" "gcc" "src/CMakeFiles/coca_core.dir/core/coca_controller.cpp.o.d"
+  "/root/repo/src/core/deficit_queue.cpp" "src/CMakeFiles/coca_core.dir/core/deficit_queue.cpp.o" "gcc" "src/CMakeFiles/coca_core.dir/core/deficit_queue.cpp.o.d"
+  "/root/repo/src/core/rec_policy.cpp" "src/CMakeFiles/coca_core.dir/core/rec_policy.cpp.o" "gcc" "src/CMakeFiles/coca_core.dir/core/rec_policy.cpp.o.d"
+  "/root/repo/src/core/v_schedule.cpp" "src/CMakeFiles/coca_core.dir/core/v_schedule.cpp.o" "gcc" "src/CMakeFiles/coca_core.dir/core/v_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coca_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

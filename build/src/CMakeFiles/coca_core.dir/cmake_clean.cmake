@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_core.dir/core/calibration.cpp.o"
+  "CMakeFiles/coca_core.dir/core/calibration.cpp.o.d"
+  "CMakeFiles/coca_core.dir/core/coca_controller.cpp.o"
+  "CMakeFiles/coca_core.dir/core/coca_controller.cpp.o.d"
+  "CMakeFiles/coca_core.dir/core/deficit_queue.cpp.o"
+  "CMakeFiles/coca_core.dir/core/deficit_queue.cpp.o.d"
+  "CMakeFiles/coca_core.dir/core/rec_policy.cpp.o"
+  "CMakeFiles/coca_core.dir/core/rec_policy.cpp.o.d"
+  "CMakeFiles/coca_core.dir/core/v_schedule.cpp.o"
+  "CMakeFiles/coca_core.dir/core/v_schedule.cpp.o.d"
+  "libcoca_core.a"
+  "libcoca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

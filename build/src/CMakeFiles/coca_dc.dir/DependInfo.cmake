@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dc/delay_model.cpp" "src/CMakeFiles/coca_dc.dir/dc/delay_model.cpp.o" "gcc" "src/CMakeFiles/coca_dc.dir/dc/delay_model.cpp.o.d"
+  "/root/repo/src/dc/fleet.cpp" "src/CMakeFiles/coca_dc.dir/dc/fleet.cpp.o" "gcc" "src/CMakeFiles/coca_dc.dir/dc/fleet.cpp.o.d"
+  "/root/repo/src/dc/power_model.cpp" "src/CMakeFiles/coca_dc.dir/dc/power_model.cpp.o" "gcc" "src/CMakeFiles/coca_dc.dir/dc/power_model.cpp.o.d"
+  "/root/repo/src/dc/server_group.cpp" "src/CMakeFiles/coca_dc.dir/dc/server_group.cpp.o" "gcc" "src/CMakeFiles/coca_dc.dir/dc/server_group.cpp.o.d"
+  "/root/repo/src/dc/server_spec.cpp" "src/CMakeFiles/coca_dc.dir/dc/server_spec.cpp.o" "gcc" "src/CMakeFiles/coca_dc.dir/dc/server_spec.cpp.o.d"
+  "/root/repo/src/dc/switching.cpp" "src/CMakeFiles/coca_dc.dir/dc/switching.cpp.o" "gcc" "src/CMakeFiles/coca_dc.dir/dc/switching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

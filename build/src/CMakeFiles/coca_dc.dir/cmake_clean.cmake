@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_dc.dir/dc/delay_model.cpp.o"
+  "CMakeFiles/coca_dc.dir/dc/delay_model.cpp.o.d"
+  "CMakeFiles/coca_dc.dir/dc/fleet.cpp.o"
+  "CMakeFiles/coca_dc.dir/dc/fleet.cpp.o.d"
+  "CMakeFiles/coca_dc.dir/dc/power_model.cpp.o"
+  "CMakeFiles/coca_dc.dir/dc/power_model.cpp.o.d"
+  "CMakeFiles/coca_dc.dir/dc/server_group.cpp.o"
+  "CMakeFiles/coca_dc.dir/dc/server_group.cpp.o.d"
+  "CMakeFiles/coca_dc.dir/dc/server_spec.cpp.o"
+  "CMakeFiles/coca_dc.dir/dc/server_spec.cpp.o.d"
+  "CMakeFiles/coca_dc.dir/dc/switching.cpp.o"
+  "CMakeFiles/coca_dc.dir/dc/switching.cpp.o.d"
+  "libcoca_dc.a"
+  "libcoca_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoca_dc.a"
+)

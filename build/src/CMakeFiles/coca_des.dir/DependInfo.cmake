@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/engine.cpp" "src/CMakeFiles/coca_des.dir/des/engine.cpp.o" "gcc" "src/CMakeFiles/coca_des.dir/des/engine.cpp.o.d"
+  "/root/repo/src/des/job_source.cpp" "src/CMakeFiles/coca_des.dir/des/job_source.cpp.o" "gcc" "src/CMakeFiles/coca_des.dir/des/job_source.cpp.o.d"
+  "/root/repo/src/des/ps_queue.cpp" "src/CMakeFiles/coca_des.dir/des/ps_queue.cpp.o" "gcc" "src/CMakeFiles/coca_des.dir/des/ps_queue.cpp.o.d"
+  "/root/repo/src/des/slot_replay.cpp" "src/CMakeFiles/coca_des.dir/des/slot_replay.cpp.o" "gcc" "src/CMakeFiles/coca_des.dir/des/slot_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_des.dir/des/engine.cpp.o"
+  "CMakeFiles/coca_des.dir/des/engine.cpp.o.d"
+  "CMakeFiles/coca_des.dir/des/job_source.cpp.o"
+  "CMakeFiles/coca_des.dir/des/job_source.cpp.o.d"
+  "CMakeFiles/coca_des.dir/des/ps_queue.cpp.o"
+  "CMakeFiles/coca_des.dir/des/ps_queue.cpp.o.d"
+  "CMakeFiles/coca_des.dir/des/slot_replay.cpp.o"
+  "CMakeFiles/coca_des.dir/des/slot_replay.cpp.o.d"
+  "libcoca_des.a"
+  "libcoca_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/budget.cpp" "src/CMakeFiles/coca_energy.dir/energy/budget.cpp.o" "gcc" "src/CMakeFiles/coca_energy.dir/energy/budget.cpp.o.d"
+  "/root/repo/src/energy/portfolio.cpp" "src/CMakeFiles/coca_energy.dir/energy/portfolio.cpp.o" "gcc" "src/CMakeFiles/coca_energy.dir/energy/portfolio.cpp.o.d"
+  "/root/repo/src/energy/price.cpp" "src/CMakeFiles/coca_energy.dir/energy/price.cpp.o" "gcc" "src/CMakeFiles/coca_energy.dir/energy/price.cpp.o.d"
+  "/root/repo/src/energy/rec_ledger.cpp" "src/CMakeFiles/coca_energy.dir/energy/rec_ledger.cpp.o" "gcc" "src/CMakeFiles/coca_energy.dir/energy/rec_ledger.cpp.o.d"
+  "/root/repo/src/energy/solar.cpp" "src/CMakeFiles/coca_energy.dir/energy/solar.cpp.o" "gcc" "src/CMakeFiles/coca_energy.dir/energy/solar.cpp.o.d"
+  "/root/repo/src/energy/tariff.cpp" "src/CMakeFiles/coca_energy.dir/energy/tariff.cpp.o" "gcc" "src/CMakeFiles/coca_energy.dir/energy/tariff.cpp.o.d"
+  "/root/repo/src/energy/wind.cpp" "src/CMakeFiles/coca_energy.dir/energy/wind.cpp.o" "gcc" "src/CMakeFiles/coca_energy.dir/energy/wind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

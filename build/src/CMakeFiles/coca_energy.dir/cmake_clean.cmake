@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_energy.dir/energy/budget.cpp.o"
+  "CMakeFiles/coca_energy.dir/energy/budget.cpp.o.d"
+  "CMakeFiles/coca_energy.dir/energy/portfolio.cpp.o"
+  "CMakeFiles/coca_energy.dir/energy/portfolio.cpp.o.d"
+  "CMakeFiles/coca_energy.dir/energy/price.cpp.o"
+  "CMakeFiles/coca_energy.dir/energy/price.cpp.o.d"
+  "CMakeFiles/coca_energy.dir/energy/rec_ledger.cpp.o"
+  "CMakeFiles/coca_energy.dir/energy/rec_ledger.cpp.o.d"
+  "CMakeFiles/coca_energy.dir/energy/solar.cpp.o"
+  "CMakeFiles/coca_energy.dir/energy/solar.cpp.o.d"
+  "CMakeFiles/coca_energy.dir/energy/tariff.cpp.o"
+  "CMakeFiles/coca_energy.dir/energy/tariff.cpp.o.d"
+  "CMakeFiles/coca_energy.dir/energy/wind.cpp.o"
+  "CMakeFiles/coca_energy.dir/energy/wind.cpp.o.d"
+  "libcoca_energy.a"
+  "libcoca_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

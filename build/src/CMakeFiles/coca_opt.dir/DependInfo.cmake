@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/capped_slot_solver.cpp" "src/CMakeFiles/coca_opt.dir/opt/capped_slot_solver.cpp.o" "gcc" "src/CMakeFiles/coca_opt.dir/opt/capped_slot_solver.cpp.o.d"
+  "/root/repo/src/opt/distributed_lb.cpp" "src/CMakeFiles/coca_opt.dir/opt/distributed_lb.cpp.o" "gcc" "src/CMakeFiles/coca_opt.dir/opt/distributed_lb.cpp.o.d"
+  "/root/repo/src/opt/exhaustive_solver.cpp" "src/CMakeFiles/coca_opt.dir/opt/exhaustive_solver.cpp.o" "gcc" "src/CMakeFiles/coca_opt.dir/opt/exhaustive_solver.cpp.o.d"
+  "/root/repo/src/opt/gsd.cpp" "src/CMakeFiles/coca_opt.dir/opt/gsd.cpp.o" "gcc" "src/CMakeFiles/coca_opt.dir/opt/gsd.cpp.o.d"
+  "/root/repo/src/opt/ladder_solver.cpp" "src/CMakeFiles/coca_opt.dir/opt/ladder_solver.cpp.o" "gcc" "src/CMakeFiles/coca_opt.dir/opt/ladder_solver.cpp.o.d"
+  "/root/repo/src/opt/load_balancer.cpp" "src/CMakeFiles/coca_opt.dir/opt/load_balancer.cpp.o" "gcc" "src/CMakeFiles/coca_opt.dir/opt/load_balancer.cpp.o.d"
+  "/root/repo/src/opt/slot_problem.cpp" "src/CMakeFiles/coca_opt.dir/opt/slot_problem.cpp.o" "gcc" "src/CMakeFiles/coca_opt.dir/opt/slot_problem.cpp.o.d"
+  "/root/repo/src/opt/tiered_solver.cpp" "src/CMakeFiles/coca_opt.dir/opt/tiered_solver.cpp.o" "gcc" "src/CMakeFiles/coca_opt.dir/opt/tiered_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coca_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

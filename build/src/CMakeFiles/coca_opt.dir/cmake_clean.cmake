@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_opt.dir/opt/capped_slot_solver.cpp.o"
+  "CMakeFiles/coca_opt.dir/opt/capped_slot_solver.cpp.o.d"
+  "CMakeFiles/coca_opt.dir/opt/distributed_lb.cpp.o"
+  "CMakeFiles/coca_opt.dir/opt/distributed_lb.cpp.o.d"
+  "CMakeFiles/coca_opt.dir/opt/exhaustive_solver.cpp.o"
+  "CMakeFiles/coca_opt.dir/opt/exhaustive_solver.cpp.o.d"
+  "CMakeFiles/coca_opt.dir/opt/gsd.cpp.o"
+  "CMakeFiles/coca_opt.dir/opt/gsd.cpp.o.d"
+  "CMakeFiles/coca_opt.dir/opt/ladder_solver.cpp.o"
+  "CMakeFiles/coca_opt.dir/opt/ladder_solver.cpp.o.d"
+  "CMakeFiles/coca_opt.dir/opt/load_balancer.cpp.o"
+  "CMakeFiles/coca_opt.dir/opt/load_balancer.cpp.o.d"
+  "CMakeFiles/coca_opt.dir/opt/slot_problem.cpp.o"
+  "CMakeFiles/coca_opt.dir/opt/slot_problem.cpp.o.d"
+  "CMakeFiles/coca_opt.dir/opt/tiered_solver.cpp.o"
+  "CMakeFiles/coca_opt.dir/opt/tiered_solver.cpp.o.d"
+  "libcoca_opt.a"
+  "libcoca_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

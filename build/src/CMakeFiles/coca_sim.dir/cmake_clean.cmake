@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_sim.dir/sim/environment.cpp.o"
+  "CMakeFiles/coca_sim.dir/sim/environment.cpp.o.d"
+  "CMakeFiles/coca_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/coca_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/coca_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/coca_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/coca_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/coca_sim.dir/sim/simulator.cpp.o.d"
+  "libcoca_sim.a"
+  "libcoca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_util.dir/util/csv.cpp.o"
+  "CMakeFiles/coca_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/coca_util.dir/util/moving_average.cpp.o"
+  "CMakeFiles/coca_util.dir/util/moving_average.cpp.o.d"
+  "CMakeFiles/coca_util.dir/util/rng.cpp.o"
+  "CMakeFiles/coca_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/coca_util.dir/util/solvers.cpp.o"
+  "CMakeFiles/coca_util.dir/util/solvers.cpp.o.d"
+  "CMakeFiles/coca_util.dir/util/stats.cpp.o"
+  "CMakeFiles/coca_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/coca_util.dir/util/table.cpp.o"
+  "CMakeFiles/coca_util.dir/util/table.cpp.o.d"
+  "libcoca_util.a"
+  "libcoca_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

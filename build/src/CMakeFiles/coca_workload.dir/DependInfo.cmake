@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrivals.cpp" "src/CMakeFiles/coca_workload.dir/workload/arrivals.cpp.o" "gcc" "src/CMakeFiles/coca_workload.dir/workload/arrivals.cpp.o.d"
+  "/root/repo/src/workload/fiu_like.cpp" "src/CMakeFiles/coca_workload.dir/workload/fiu_like.cpp.o" "gcc" "src/CMakeFiles/coca_workload.dir/workload/fiu_like.cpp.o.d"
+  "/root/repo/src/workload/msr_like.cpp" "src/CMakeFiles/coca_workload.dir/workload/msr_like.cpp.o" "gcc" "src/CMakeFiles/coca_workload.dir/workload/msr_like.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/coca_workload.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/coca_workload.dir/workload/trace.cpp.o.d"
+  "/root/repo/src/workload/transforms.cpp" "src/CMakeFiles/coca_workload.dir/workload/transforms.cpp.o" "gcc" "src/CMakeFiles/coca_workload.dir/workload/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_workload.dir/workload/arrivals.cpp.o"
+  "CMakeFiles/coca_workload.dir/workload/arrivals.cpp.o.d"
+  "CMakeFiles/coca_workload.dir/workload/fiu_like.cpp.o"
+  "CMakeFiles/coca_workload.dir/workload/fiu_like.cpp.o.d"
+  "CMakeFiles/coca_workload.dir/workload/msr_like.cpp.o"
+  "CMakeFiles/coca_workload.dir/workload/msr_like.cpp.o.d"
+  "CMakeFiles/coca_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/coca_workload.dir/workload/trace.cpp.o.d"
+  "CMakeFiles/coca_workload.dir/workload/transforms.cpp.o"
+  "CMakeFiles/coca_workload.dir/workload/transforms.cpp.o.d"
+  "libcoca_workload.a"
+  "libcoca_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

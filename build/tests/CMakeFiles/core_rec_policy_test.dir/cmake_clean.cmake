@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rec_policy_test.dir/core_rec_policy_test.cpp.o"
+  "CMakeFiles/core_rec_policy_test.dir/core_rec_policy_test.cpp.o.d"
+  "core_rec_policy_test"
+  "core_rec_policy_test.pdb"
+  "core_rec_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rec_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

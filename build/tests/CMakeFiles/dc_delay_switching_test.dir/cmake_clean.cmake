@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_delay_switching_test.dir/dc_delay_switching_test.cpp.o"
+  "CMakeFiles/dc_delay_switching_test.dir/dc_delay_switching_test.cpp.o.d"
+  "dc_delay_switching_test"
+  "dc_delay_switching_test.pdb"
+  "dc_delay_switching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_delay_switching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

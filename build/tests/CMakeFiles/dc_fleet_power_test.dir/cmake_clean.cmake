@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_fleet_power_test.dir/dc_fleet_power_test.cpp.o"
+  "CMakeFiles/dc_fleet_power_test.dir/dc_fleet_power_test.cpp.o.d"
+  "dc_fleet_power_test"
+  "dc_fleet_power_test.pdb"
+  "dc_fleet_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_fleet_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_server_test.dir/dc_server_test.cpp.o"
+  "CMakeFiles/dc_server_test.dir/dc_server_test.cpp.o.d"
+  "dc_server_test"
+  "dc_server_test.pdb"
+  "dc_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_engine_test.dir/des_engine_test.cpp.o"
+  "CMakeFiles/des_engine_test.dir/des_engine_test.cpp.o.d"
+  "des_engine_test"
+  "des_engine_test.pdb"
+  "des_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_insensitivity_test.dir/des_insensitivity_test.cpp.o"
+  "CMakeFiles/des_insensitivity_test.dir/des_insensitivity_test.cpp.o.d"
+  "des_insensitivity_test"
+  "des_insensitivity_test.pdb"
+  "des_insensitivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_insensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

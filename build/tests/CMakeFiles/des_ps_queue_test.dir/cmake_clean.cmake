@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_ps_queue_test.dir/des_ps_queue_test.cpp.o"
+  "CMakeFiles/des_ps_queue_test.dir/des_ps_queue_test.cpp.o.d"
+  "des_ps_queue_test"
+  "des_ps_queue_test.pdb"
+  "des_ps_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_ps_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

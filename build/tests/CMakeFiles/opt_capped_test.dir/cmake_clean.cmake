@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_capped_test.dir/opt_capped_test.cpp.o"
+  "CMakeFiles/opt_capped_test.dir/opt_capped_test.cpp.o.d"
+  "opt_capped_test"
+  "opt_capped_test.pdb"
+  "opt_capped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_capped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_distributed_lb_test.dir/opt_distributed_lb_test.cpp.o"
+  "CMakeFiles/opt_distributed_lb_test.dir/opt_distributed_lb_test.cpp.o.d"
+  "opt_distributed_lb_test"
+  "opt_distributed_lb_test.pdb"
+  "opt_distributed_lb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_distributed_lb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

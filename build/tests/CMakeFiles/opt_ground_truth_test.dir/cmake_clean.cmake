@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_ground_truth_test.dir/opt_ground_truth_test.cpp.o"
+  "CMakeFiles/opt_ground_truth_test.dir/opt_ground_truth_test.cpp.o.d"
+  "opt_ground_truth_test"
+  "opt_ground_truth_test.pdb"
+  "opt_ground_truth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_ground_truth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_gsd_test.dir/opt_gsd_test.cpp.o"
+  "CMakeFiles/opt_gsd_test.dir/opt_gsd_test.cpp.o.d"
+  "opt_gsd_test"
+  "opt_gsd_test.pdb"
+  "opt_gsd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_gsd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

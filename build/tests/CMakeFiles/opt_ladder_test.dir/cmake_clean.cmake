@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_ladder_test.dir/opt_ladder_test.cpp.o"
+  "CMakeFiles/opt_ladder_test.dir/opt_ladder_test.cpp.o.d"
+  "opt_ladder_test"
+  "opt_ladder_test.pdb"
+  "opt_ladder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_ladder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

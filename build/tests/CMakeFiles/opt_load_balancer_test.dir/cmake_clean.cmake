@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_load_balancer_test.dir/opt_load_balancer_test.cpp.o"
+  "CMakeFiles/opt_load_balancer_test.dir/opt_load_balancer_test.cpp.o.d"
+  "opt_load_balancer_test"
+  "opt_load_balancer_test.pdb"
+  "opt_load_balancer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_load_balancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

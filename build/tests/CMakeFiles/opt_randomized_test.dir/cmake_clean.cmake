@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_randomized_test.dir/opt_randomized_test.cpp.o"
+  "CMakeFiles/opt_randomized_test.dir/opt_randomized_test.cpp.o.d"
+  "opt_randomized_test"
+  "opt_randomized_test.pdb"
+  "opt_randomized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_randomized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/theorem_bounds_test.cpp" "tests/CMakeFiles/theorem_bounds_test.dir/theorem_bounds_test.cpp.o" "gcc" "tests/CMakeFiles/theorem_bounds_test.dir/theorem_bounds_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coca_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem_bounds_test.dir/theorem_bounds_test.cpp.o"
+  "CMakeFiles/theorem_bounds_test.dir/theorem_bounds_test.cpp.o.d"
+  "theorem_bounds_test"
+  "theorem_bounds_test.pdb"
+  "theorem_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_moving_average_test.dir/util_moving_average_test.cpp.o"
+  "CMakeFiles/util_moving_average_test.dir/util_moving_average_test.cpp.o.d"
+  "util_moving_average_test"
+  "util_moving_average_test.pdb"
+  "util_moving_average_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_moving_average_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

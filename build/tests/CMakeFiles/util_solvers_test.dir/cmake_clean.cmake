@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_solvers_test.dir/util_solvers_test.cpp.o"
+  "CMakeFiles/util_solvers_test.dir/util_solvers_test.cpp.o.d"
+  "util_solvers_test"
+  "util_solvers_test.pdb"
+  "util_solvers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_solvers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

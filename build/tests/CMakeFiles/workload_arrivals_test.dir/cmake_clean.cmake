@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_arrivals_test.dir/workload_arrivals_test.cpp.o"
+  "CMakeFiles/workload_arrivals_test.dir/workload_arrivals_test.cpp.o.d"
+  "workload_arrivals_test"
+  "workload_arrivals_test.pdb"
+  "workload_arrivals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_arrivals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
