@@ -47,11 +47,17 @@ int main() {
   };
   util::Table tariff_table({"tariff", "total cost ($)", "energy (MWh)",
                             "hours in upper block", "hours pinned at boundary"});
-  for (const TariffCase& c :
-       {TariffCase{"flat", 1.0}, TariffCase{"2nd block 2x", 2.0},
-        TariffCase{"2nd block 4x", 4.0}, TariffCase{"2nd block 8x", 8.0}}) {
+  const std::vector<TariffCase> tariff_cases = {
+      {"flat", 1.0}, {"2nd block 2x", 2.0}, {"2nd block 4x", 4.0},
+      {"2nd block 8x", 8.0}};
+  struct TariffPoint {
     double cost = 0.0, energy = 0.0;
     int upper = 0, pinned = 0;
+  };
+  sim::SweepRunner runner;
+  bench::sweep_note(runner, tariff_cases.size(), "tariff");
+  const auto tariff_points = runner.map(tariff_cases, [&](const TariffCase& c) {
+    TariffPoint point;
     for (std::size_t t = 0; t < scenario.env.slots(); ++t) {
       const double base_price = scenario.env.price[t];
       const energy::TieredTariff tariff =
@@ -65,14 +71,19 @@ int main() {
                                  scenario.env.onsite_kw[t], base_price};
       const auto result =
           opt::solve_tiered_slot(scenario.fleet, input, weights, tariff);
-      cost += result.solution.outcome.total_cost;
-      energy += result.solution.outcome.brown_kwh;
-      if (result.active_tier > 0) ++upper;
-      if (result.boundary) ++pinned;
+      point.cost += result.solution.outcome.total_cost;
+      point.energy += result.solution.outcome.brown_kwh;
+      if (result.active_tier > 0) ++point.upper;
+      if (result.boundary) ++point.pinned;
     }
-    tariff_table.add_row({std::string(c.name), cost, energy / 1000.0,
-                          static_cast<double>(upper),
-                          static_cast<double>(pinned)});
+    return point;
+  });
+  for (std::size_t i = 0; i < tariff_cases.size(); ++i) {
+    const auto& point = tariff_points[i];
+    tariff_table.add_row({std::string(tariff_cases[i].name), point.cost,
+                          point.energy / 1000.0,
+                          static_cast<double>(point.upper),
+                          static_cast<double>(point.pinned)});
   }
   bench::emit(tariff_table);
   std::cout << "\nreading: steeper upper blocks push more hours onto the "
@@ -95,24 +106,34 @@ int main() {
           solver.solve(scenario.fleet, input, weights).outcome.facility_power_kw);
     }
   }
-  for (double fraction : {1.0, 0.95, 0.90, 0.85}) {
-    const double cap = uncapped_peak * fraction;
+  const std::vector<double> cap_fractions = {1.0, 0.95, 0.90, 0.85};
+  struct CapPoint {
     double cost = 0.0, peak = 0.0;
     int binding = 0, dropped = 0;
+  };
+  bench::sweep_note(runner, cap_fractions.size(), "power-cap");
+  const auto cap_points = runner.map(cap_fractions, [&](double fraction) {
+    const double cap = uncapped_peak * fraction;
+    CapPoint point;
     for (std::size_t t = 0; t < scenario.env.slots(); ++t) {
       const opt::SlotInput input{scenario.env.workload[t],
                                  scenario.env.onsite_kw[t],
                                  scenario.env.price[t]};
       const auto result =
           opt::solve_power_capped(scenario.fleet, input, weights, cap);
-      cost += result.solution.outcome.total_cost;
-      peak = std::max(peak, result.solution.outcome.facility_power_kw);
-      if (result.multiplier > 0.0) ++binding;
-      if (result.cap_dropped) ++dropped;
+      point.cost += result.solution.outcome.total_cost;
+      point.peak = std::max(point.peak, result.solution.outcome.facility_power_kw);
+      if (result.multiplier > 0.0) ++point.binding;
+      if (result.cap_dropped) ++point.dropped;
     }
-    cap_table.add_row({fraction * 100.0, cost, peak / 1000.0,
-                       static_cast<double>(binding),
-                       static_cast<double>(dropped)});
+    return point;
+  });
+  for (std::size_t i = 0; i < cap_fractions.size(); ++i) {
+    const auto& point = cap_points[i];
+    cap_table.add_row({cap_fractions[i] * 100.0, point.cost,
+                       point.peak / 1000.0,
+                       static_cast<double>(point.binding),
+                       static_cast<double>(point.dropped)});
   }
   bench::emit(cap_table);
   std::cout << "\nreading: the cap binds only during workload peaks; cost "

@@ -16,6 +16,9 @@ int main() {
 
   bench::banner("Ablation", "utilization cap gamma and delay weight beta");
 
+  struct Row {
+    double cost = 0.0, delay_share = 0.0, usage_norm = 0.0;
+  };
   auto run_config = [&](double gamma, double beta) {
     sim::ScenarioConfig config = bench::default_scenario_config();
     config.hours = std::min<std::size_t>(config.hours, 4'380);  // half year
@@ -29,19 +32,22 @@ int main() {
         scenario.budget.total_allowance(),
         {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 10});
     const auto result = sim::run_coca_constant_v(scenario, v_star.v);
-    struct Row {
-      double cost, delay_share, usage_norm;
-    };
     return Row{result.metrics.average_cost(),
                result.metrics.total_delay_cost() / result.metrics.total_cost(),
                result.metrics.total_brown_kwh() / scenario.unaware_brown_kwh};
   };
 
+  sim::SweepRunner runner;
+
   util::Table gamma_table({"gamma", "avg hourly cost ($)", "delay share",
                            "usage / unaware"});
-  for (double gamma : {0.40, 0.50, 0.60, 0.75, 0.90}) {
-    const auto row = run_config(gamma, 0.005);
-    gamma_table.add_row({gamma, row.cost, row.delay_share, row.usage_norm});
+  const std::vector<double> gammas = {0.40, 0.50, 0.60, 0.75, 0.90};
+  bench::sweep_note(runner, gammas.size(), "gamma");
+  const auto gamma_rows = runner.map(
+      gammas, [&](double gamma) { return run_config(gamma, 0.005); });
+  for (std::size_t i = 0; i < gammas.size(); ++i) {
+    const auto& row = gamma_rows[i];
+    gamma_table.add_row({gammas[i], row.cost, row.delay_share, row.usage_norm});
   }
   bench::emit(gamma_table);
   std::cout << "\nreading: the unconstrained optimum runs servers near 56% "
@@ -51,9 +57,13 @@ int main() {
 
   util::Table beta_table({"beta ($/job-h)", "avg hourly cost ($)",
                           "delay share", "usage / unaware"});
-  for (double beta : {0.001, 0.0025, 0.005, 0.01, 0.02}) {
-    const auto row = run_config(0.9, beta);
-    beta_table.add_row({beta, row.cost, row.delay_share, row.usage_norm});
+  const std::vector<double> betas = {0.001, 0.0025, 0.005, 0.01, 0.02};
+  bench::sweep_note(runner, betas.size(), "beta");
+  const auto beta_rows =
+      runner.map(betas, [&](double beta) { return run_config(0.9, beta); });
+  for (std::size_t i = 0; i < betas.size(); ++i) {
+    const auto& row = beta_rows[i];
+    beta_table.add_row({betas[i], row.cost, row.delay_share, row.usage_norm});
   }
   bench::emit(beta_table);
   std::cout << "\nreading: beta moves the operating point along the "

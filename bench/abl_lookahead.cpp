@@ -34,19 +34,28 @@ int main() {
 
   util::Table table({"lookahead T (h)", "frames R", "oracle avg cost ($/h)",
                      "COCA / oracle", "frames missing budget"});
+  std::vector<std::size_t> windows;
   for (std::size_t raw_window : {24u, 168u, 730u, 2184u, 4368u}) {
     const std::size_t window =
         std::min<std::size_t>(raw_window, scenario.env.slots());
     if (window < raw_window && raw_window != 4368u) continue;  // dedupe clamps
-    const auto result = baselines::solve_lookahead(
+    windows.push_back(window);
+  }
+  sim::SweepRunner runner;
+  bench::sweep_note(runner, windows.size(), "lookahead-window");
+  const auto results = runner.map(windows, [&](std::size_t window) {
+    return baselines::solve_lookahead(
         scenario.fleet, scenario.env.workload.values(),
         scenario.env.onsite_kw.values(), scenario.env.price.values(),
         scenario.budget, scenario.weights, window);
+  });
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto& result = results[i];
     std::size_t missed = 0;
     for (bool met : result.frame_budget_met) missed += !met;
     const double oracle_avg =
         result.total_cost / static_cast<double>(scenario.env.slots());
-    table.add_row({static_cast<double>(window),
+    table.add_row({static_cast<double>(windows[i]),
                    static_cast<double>(result.frame_costs.size()), oracle_avg,
                    coca_avg / oracle_avg, static_cast<double>(missed)});
   }

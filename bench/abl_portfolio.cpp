@@ -38,13 +38,22 @@ int main() {
     return run_at(v_star.v);
   };
 
-  const auto base = calibrated_run(scenario.budget);
-  const double base_cost = base.metrics.average_cost();
+  const std::vector<double> shares = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  sim::SweepRunner runner;
+  bench::sweep_note(runner, shares.size() + 1, "portfolio-mix");
+  // Point 0 is the scenario's own mix (the normalization base); the rest
+  // sweep the off-site share at the same total budget.
+  const auto results = runner.map(shares.size() + 1, [&](std::size_t i) {
+    return calibrated_run(i == 0 ? scenario.budget
+                                 : scenario.budget.with_mix(shares[i - 1]));
+  });
+  const double base_cost = results[0].metrics.average_cost();
 
   util::Table table({"offsite share", "REC share", "avg hourly cost ($)",
                      "cost change (%)", "usage (% allowance)"});
-  for (double share : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    const auto result = calibrated_run(scenario.budget.with_mix(share));
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const double share = shares[i];
+    const auto& result = results[i + 1];
     table.add_row({share, 1.0 - share, result.metrics.average_cost(),
                    100.0 * (result.metrics.average_cost() / base_cost - 1.0),
                    100.0 * result.metrics.total_brown_kwh() /

@@ -37,12 +37,18 @@ int main() {
     return sim::run_coca_constant_v(noisy, v_star.v);
   };
 
-  const auto exact = run_with_error(0.0, 1);
+  const std::vector<double> errors = {0.0, 0.05, 0.10, 0.20, 0.30};
+  sim::SweepRunner runner;
+  bench::sweep_note(runner, errors.size(), "prediction-error");
+  const auto results = runner.map(
+      errors, [&](double error) { return run_with_error(error, 1); });
+  const auto& exact = results[0];
   util::Table table({"prediction error (+/-)", "avg hourly cost ($)",
                      "cost increase (%)", "fallback slots",
                      "usage (% allowance)"});
-  for (double error : {0.0, 0.05, 0.10, 0.20, 0.30}) {
-    const auto result = error == 0.0 ? exact : run_with_error(error, 1);
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    const double error = errors[i];
+    const auto& result = results[i];
     table.add_row(
         {error, result.metrics.average_cost(),
          100.0 * (result.metrics.total_cost() / exact.metrics.total_cost() -

@@ -52,10 +52,17 @@ int main() {
   };
   util::Table table({"strategy", "ops cost ($/h)", "REC spend ($)",
                      "ops+RECs ($)", "RECs bought (MWh)", "usage-offsets (MWh)"});
-  for (const Strategy& strategy :
-       {Strategy{"all up-front (paper)", 1.0},
-        Strategy{"hybrid 50/50", 0.5},
-        Strategy{"fully dynamic", 0.0}}) {
+  const std::vector<Strategy> strategies = {
+      {"all up-front (paper)", 1.0},
+      {"hybrid 50/50", 0.5},
+      {"fully dynamic", 0.0}};
+  struct StrategyRow {
+    double ops_cost = 0.0, rec_spend = 0.0, total = 0.0;
+    double bought_mwh = 0.0, uncovered_mwh = 0.0;
+  };
+  sim::SweepRunner runner;
+  bench::sweep_note(runner, strategies.size(), "procurement-strategy");
+  const auto rows = runner.map(strategies, [&](const Strategy& strategy) {
     const double z_upfront = z_full * strategy.upfront_fraction;
     const double z_per_slot = scenario.budget.alpha() * z_upfront /
                               static_cast<double>(hours);
@@ -93,10 +100,17 @@ int main() {
         scenario.budget.alpha() *
         (scenario.budget.offsite().total() + z_upfront +
          controller->total_purchased_kwh());
-    table.add_row({std::string(strategy.name), result.metrics.average_cost(),
-                   rec_spend, result.metrics.total_cost() + rec_spend,
-                   (z_upfront + controller->total_purchased_kwh()) / 1000.0,
-                   (result.metrics.total_brown_kwh() - offsets) / 1000.0});
+    return StrategyRow{
+        result.metrics.average_cost(), rec_spend,
+        result.metrics.total_cost() + rec_spend,
+        (z_upfront + controller->total_purchased_kwh()) / 1000.0,
+        (result.metrics.total_brown_kwh() - offsets) / 1000.0};
+  });
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    const auto& row = rows[i];
+    table.add_row({std::string(strategies[i].name), row.ops_cost,
+                   row.rec_spend, row.total, row.bought_mwh,
+                   row.uncovered_mwh});
   }
   bench::emit(table);
   std::cout << "\nreading: dynamic procurement buys only what the realized "

@@ -71,8 +71,14 @@ int main() {
   bench::scenario_summary(base);
   util::Table dvfs({"DVFS levels", "avg hourly cost ($)", "vs 4-level (%)",
                     "usage/allowance"});
-  double four_level_cost = 0.0;
-  for (std::size_t levels : {2u, 4u, 8u}) {
+  const std::vector<std::size_t> level_counts = {2u, 4u, 8u};
+  struct SettingPoint {
+    double cost = 0.0;
+    double usage = 0.0;
+  };
+  sim::SweepRunner runner;
+  bench::sweep_note(runner, level_counts.size(), "DVFS-ladder");
+  const auto dvfs_points = runner.map(level_counts, [&](std::size_t levels) {
     std::vector<dc::ServerGroup> groups;
     const std::size_t per =
         base.fleet.total_servers() / config.fleet.group_count;
@@ -80,14 +86,15 @@ int main() {
       groups.emplace_back(spec_with_levels(levels), per);
     }
     const dc::Fleet fleet((std::vector<dc::ServerGroup>(groups)));
-    double usage = 0.0;
-    const double cost = calibrated_cost(fleet, base, &usage);
-    if (levels == 4) four_level_cost = cost;
-    dvfs.add_row({static_cast<double>(levels), cost,
-                  four_level_cost > 0.0
-                      ? 100.0 * (cost / four_level_cost - 1.0)
-                      : 0.0,
-                  usage});
+    SettingPoint point;
+    point.cost = calibrated_cost(fleet, base, &point.usage);
+    return point;
+  });
+  const double four_level_cost = dvfs_points[1].cost;  // levels == 4
+  for (std::size_t i = 0; i < level_counts.size(); ++i) {
+    const auto& point = dvfs_points[i];
+    dvfs.add_row({static_cast<double>(level_counts[i]), point.cost,
+                  100.0 * (point.cost / four_level_cost - 1.0), point.usage});
   }
   bench::emit(dvfs);
   std::cout << "\nreading: the ladders tie — under energy pressure the "
@@ -102,14 +109,20 @@ int main() {
   bench::banner("Server settings (b)", "fleet heterogeneity spread");
   util::Table hetero({"speed spread", "power spread", "avg hourly cost ($)",
                       "usage/allowance"});
-  for (double spread : {0.0, 0.1, 0.2, 0.35}) {
+  const std::vector<double> spreads = {0.0, 0.1, 0.2, 0.35};
+  bench::sweep_note(runner, spreads.size(), "heterogeneity-spread");
+  const auto hetero_points = runner.map(spreads, [&](double spread) {
     dc::FleetConfig fc = config.fleet;
     fc.speed_spread = spread;
     fc.power_spread = spread * 0.7;
     const auto fleet = dc::make_default_fleet(fc);
-    double usage = 0.0;
-    const double cost = calibrated_cost(fleet, base, &usage);
-    hetero.add_row({spread, spread * 0.7, cost, usage});
+    SettingPoint point;
+    point.cost = calibrated_cost(fleet, base, &point.usage);
+    return point;
+  });
+  for (std::size_t i = 0; i < spreads.size(); ++i) {
+    hetero.add_row({spreads[i], spreads[i] * 0.7, hetero_points[i].cost,
+                    hetero_points[i].usage});
   }
   bench::emit(hetero);
   std::cout << "\nreading: at a fixed server count, an older mix is simply "

@@ -9,12 +9,18 @@
 //   COCA_BENCH_HOURS   horizon in hourly slots   (default 8760 = the paper's year)
 //   COCA_BENCH_GROUPS  fleet group granularity   (default 16 for year sweeps)
 //   COCA_BENCH_CSV     set to 1 to also print raw CSV blocks
+//   COCA_THREADS       sweep worker threads      (default: hardware threads)
+//
+// Sweep-style benches evaluate their independent points through
+// sim::SweepRunner, so wall-clock scales with COCA_THREADS while the
+// emitted tables stay bit-identical to a serial run.
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 #include "util/table.hpp"
 
 namespace coca::bench {
@@ -43,6 +49,13 @@ inline void banner(const std::string& artifact, const std::string& what) {
   std::cout << "\n==========================================================\n"
             << "Reproducing " << artifact << " — " << what << "\n"
             << "==========================================================\n";
+}
+
+/// Announce a parallel sweep (points + thread count) ahead of the table.
+inline void sweep_note(const sim::SweepRunner& runner, std::size_t points,
+                       const char* what) {
+  std::cout << "sweep: " << points << " " << what << " points on "
+            << runner.threads() << " thread(s)\n";
 }
 
 inline void scenario_summary(const sim::Scenario& scenario) {

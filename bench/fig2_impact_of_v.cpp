@@ -33,9 +33,15 @@ int main() {
 
   util::Table ab({"V", "avg hourly cost ($)", "cost vs unaware",
                   "avg hourly deficit (kWh)", "budget used (%)"});
-  for (double v : {1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}) {
-    const auto result = sim::run_coca_constant_v(scenario, v);
-    ab.add_row({v, result.metrics.average_cost(),
+  const std::vector<double> vs = {1e0, 1e1, 1e2, 1e3, 1e4,
+                                  1e5, 1e6, 1e7, 1e8};
+  sim::SweepRunner runner;
+  bench::sweep_note(runner, vs.size(), "constant-V");
+  const auto v_results = runner.map(
+      vs, [&](double v) { return sim::run_coca_constant_v(scenario, v); });
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const auto& result = v_results[i];
+    ab.add_row({vs[i], result.metrics.average_cost(),
                 result.metrics.average_cost() / unaware_cost,
                 result.metrics.average_deficit(scenario.budget),
                 100.0 * result.metrics.total_brown_kwh() /
@@ -68,15 +74,20 @@ int main() {
   const std::size_t window = std::min<std::size_t>(hours, 45 * 24);
   util::Table cd({"hour", "variant", "mov-avg cost ($)",
                   "mov-avg deficit (kWh)", "queue (MWh)"});
-  for (const auto& variant : variants) {
-    core::CocaConfig config;
-    config.weights = scenario.weights;
-    config.alpha = scenario.budget.alpha();
-    config.rec_per_slot = scenario.budget.rec_per_slot();
-    config.schedule = variant.schedule;
-    core::CocaController controller(scenario.fleet, config);
-    const auto result = sim::run_simulation(scenario.fleet, scenario.env,
-                                            controller, scenario.weights);
+  const auto variant_results =
+      runner.map(variants.size(), [&](std::size_t i) {
+        core::CocaConfig config;
+        config.weights = scenario.weights;
+        config.alpha = scenario.budget.alpha();
+        config.rec_per_slot = scenario.budget.rec_per_slot();
+        config.schedule = variants[i].schedule;
+        core::CocaController controller(scenario.fleet, config);
+        return sim::run_simulation(scenario.fleet, scenario.env, controller,
+                                   scenario.weights);
+      });
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& variant = variants[i];
+    const auto& result = variant_results[i];
     const auto cost_ma =
         util::moving_average_series(result.metrics.cost_series(), window);
     const auto deficit_ma = util::moving_average_series(

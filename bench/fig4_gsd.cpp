@@ -47,16 +47,16 @@ int main() {
 
   const int iterations = 500;
   util::Table by_delta({"iteration", "delta=1e2", "delta=1e4", "delta=1e6"});
-  std::vector<std::vector<double>> trajectories;
-  for (double delta : {1e2, 1e4, 1e6}) {
+  const std::vector<double> deltas = {1e2, 1e4, 1e6};
+  sim::SweepRunner runner;
+  const auto trajectories = runner.map(deltas, [&](double delta) {
     opt::GsdConfig gsd;
     gsd.iterations = iterations;
     gsd.delta = delta;
     gsd.seed = 7;
     gsd.record_trajectory = true;
-    const auto result = opt::GsdSolver(gsd).solve(scenario.fleet, input, weights);
-    trajectories.push_back(result.trajectory);
-  }
+    return opt::GsdSolver(gsd).solve(scenario.fleet, input, weights).trajectory;
+  });
   for (int i = 0; i < iterations; i += 25) {
     by_delta.add_row({static_cast<double>(i), trajectories[0][i],
                       trajectories[1][i], trajectories[2][i]});
@@ -90,12 +90,12 @@ int main() {
                std::ceil(servers / 2.0), 0.0};
   }
 
-  std::vector<std::vector<double>> inits;
-  for (const auto& init : {all_max, all_slow, half}) {
-    const auto result =
-        opt::GsdSolver(gsd).solve(scenario.fleet, input, weights, init);
-    inits.push_back(result.trajectory);
-  }
+  const std::vector<dc::Allocation> init_points = {all_max, all_slow, half};
+  const auto inits = runner.map(init_points, [&](const dc::Allocation& init) {
+    return opt::GsdSolver(gsd)
+        .solve(scenario.fleet, input, weights, init)
+        .trajectory;
+  });
   util::Table by_init({"iteration", "init: all@max", "init: all@slow",
                        "init: half fleet"});
   for (int i = 0; i < long_iterations; i += 150) {

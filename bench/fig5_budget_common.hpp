@@ -34,7 +34,18 @@ inline void run_budget_sweep(sim::WorkloadKind workload,
   util::Table table({"budget (norm)", "COCA cost (norm)", "OPT cost (norm)",
                      "unaware cost (norm)", "COCA neutral?", "COCA V",
                      "COCA usage (norm)"});
-  for (double fraction : budget_fractions) {
+  // Each budget point runs a full V calibration plus the offline OPT solve —
+  // the heaviest sweep in the bench suite, and embarrassingly parallel.
+  struct BudgetPoint {
+    double coca_cost = 0.0;
+    double opt_cost = 0.0;
+    bool neutral = false;
+    double v = 0.0;
+    double usage = 0.0;
+  };
+  sim::SweepRunner runner;
+  sweep_note(runner, budget_fractions.size(), "carbon-budget");
+  const auto points = runner.map(budget_fractions, [&](double fraction) {
     const double allowance = unaware_usage * fraction;
     const auto budget = base_scenario.budget.rescaled_to_allowance(allowance);
     sim::Scenario scenario = base_scenario;
@@ -56,15 +67,18 @@ inline void run_budget_sweep(sim::WorkloadKind workload,
         scenario.weights, allowance,
         {.ladder = {}, .usage_rel_tol = 0.002, .max_bisection_runs = 18});
 
-    table.add_row(
-        {fraction, coca.metrics.average_cost() / unaware_cost,
-         opt_schedule.total_cost /
-             static_cast<double>(scenario.env.slots()) / unaware_cost,
-         1.0,
-         std::string(budget.satisfied(coca.metrics.brown_series(), 1e-6)
-                         ? "yes"
-                         : "NO"),
-         v_star.v, coca.metrics.total_brown_kwh() / unaware_usage});
+    return BudgetPoint{
+        coca.metrics.average_cost() / unaware_cost,
+        opt_schedule.total_cost /
+            static_cast<double>(scenario.env.slots()) / unaware_cost,
+        budget.satisfied(coca.metrics.brown_series(), 1e-6), v_star.v,
+        coca.metrics.total_brown_kwh() / unaware_usage};
+  });
+  for (std::size_t i = 0; i < budget_fractions.size(); ++i) {
+    const auto& point = points[i];
+    table.add_row({budget_fractions[i], point.coca_cost, point.opt_cost, 1.0,
+                   std::string(point.neutral ? "yes" : "NO"), point.v,
+                   point.usage});
   }
   emit(table);
   std::cout << "\npaper shape: at an 85% budget COCA exceeds the unaware cost "

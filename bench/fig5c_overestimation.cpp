@@ -20,6 +20,10 @@ int main() {
 
   // As everywhere in Sec. 5.2.4, V is chosen per configuration so that
   // carbon neutrality stays satisfied while planning with inflated loads.
+  struct PhiPoint {
+    double v = 0.0;
+    sim::SimResult result;
+  };
   auto run_with_phi = [&](double phi) {
     sim::Scenario overestimated = scenario;
     overestimated.env = scenario.env.with_planning(
@@ -31,16 +35,24 @@ int main() {
         },
         scenario.budget.total_allowance(),
         {.v_lo = 1.0, .v_hi = 1e10, .max_runs = 12});
-    std::cout << "phi = " << phi << ": calibrated V = " << v_star.v << "\n";
-    return sim::run_coca_constant_v(overestimated, v_star.v);
+    return PhiPoint{v_star.v, sim::run_coca_constant_v(overestimated, v_star.v)};
   };
 
-  const auto exact = run_with_phi(1.0);
+  const std::vector<double> phis = {1.0, 1.05, 1.10, 1.15, 1.20};
+  sim::SweepRunner runner;
+  bench::sweep_note(runner, phis.size(), "overestimation-factor");
+  const auto points = runner.map(phis, run_with_phi);
+  for (std::size_t i = 0; i < phis.size(); ++i) {
+    std::cout << "phi = " << phis[i] << ": calibrated V = " << points[i].v
+              << "\n";
+  }
+  const auto& exact = points[0].result;
   util::Table table({"phi", "avg hourly cost ($)", "cost increase (%)",
                      "delay cost (norm)", "electricity (norm)",
                      "usage (% allowance)"});
-  for (double phi : {1.0, 1.05, 1.10, 1.15, 1.20}) {
-    const auto result = phi == 1.0 ? exact : run_with_phi(phi);
+  for (std::size_t i = 0; i < phis.size(); ++i) {
+    const double phi = phis[i];
+    const auto& result = points[i].result;
     table.add_row(
         {phi, result.metrics.average_cost(),
          100.0 * (result.metrics.total_cost() / exact.metrics.total_cost() -

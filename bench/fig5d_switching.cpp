@@ -41,13 +41,20 @@ int main() {
                                scenario.weights, options);
   };
 
-  const auto free = run_with_switching(0.0);
+  const std::vector<double> percents = {0.0, 2.5, 5.0, 7.5, 10.0};
+  sim::SweepRunner runner;
+  bench::sweep_note(runner, percents.size(), "switching-cost");
+  const auto results = runner.map(percents, [&](double percent) {
+    return run_with_switching(max_hourly_kwh * percent / 100.0);
+  });
+  const auto& free = results[0];
   util::Table table({"switch cost (% of 0.231 kWh)", "kWh/toggle",
                      "avg hourly cost ($)", "cost increase (%)",
                      "switching energy (MWh)", "toggles/hour"});
-  for (double percent : {0.0, 2.5, 5.0, 7.5, 10.0}) {
+  for (std::size_t i = 0; i < percents.size(); ++i) {
+    const double percent = percents[i];
     const double per_toggle = max_hourly_kwh * percent / 100.0;
-    const auto result = run_with_switching(per_toggle);
+    const auto& result = results[i];
     double toggles = 0.0;
     for (const auto& slot : result.metrics.slots()) toggles += slot.toggles;
     table.add_row(

@@ -1,14 +1,27 @@
 // Micro performance benchmarks (google-benchmark) for the hot paths:
 // the load balancer, the ladder slot solver, GSD iterations (the Sec. 5.2.3
-// timing claim), the PS-queue event loop and the deficit-queue update.
+// timing claim), the PS-queue event loop and the deficit-queue update —
+// plus a parallel-sweep scaling report (printed before the benchmark table)
+// that times a 100-point V-sweep through sim::SweepRunner at 1 thread vs
+// COCA_THREADS (default 8) threads and verifies the two runs produce
+// bit-identical metrics.
 
 #include <benchmark/benchmark.h>
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
 
 #include "core/deficit_queue.hpp"
 #include "des/job_source.hpp"
 #include "opt/gsd.hpp"
 #include "opt/ladder_solver.hpp"
 #include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -76,6 +89,31 @@ void BM_Gsd500Iterations200Groups(benchmark::State& state) {
 }
 BENCHMARK(BM_Gsd500Iterations200Groups)->Unit(benchmark::kMillisecond);
 
+// Multi-chain GSD at the same total iteration budget (chains x iters = 500):
+// Arg is the chain count; wall-clock should shrink toward the per-chain
+// share on multicore hardware while the merged result stays deterministic.
+void BM_GsdMultiChain500TotalIterations(benchmark::State& state) {
+  const auto& scenario = snapshot_scenario(200);
+  const auto input = snapshot_input(scenario);
+  opt::SlotWeights weights = scenario.weights;
+  weights.V = 1.0;
+  opt::GsdConfig config;
+  config.chains = static_cast<int>(state.range(0));
+  config.iterations = 500 / config.chains;
+  config.delta = 1e6;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(
+        opt::GsdSolver(config).solve(scenario.fleet, input, weights));
+  }
+}
+BENCHMARK(BM_GsdMultiChain500TotalIterations)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_YearSimulationPerSlot(benchmark::State& state) {
   // Amortized cost of one COCA slot within a year-scale simulation.
   const auto& scenario = snapshot_scenario(40);
@@ -110,6 +148,82 @@ void BM_DeficitQueueUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_DeficitQueueUpdate);
 
+// ---------------------------------------------------------------------------
+// Parallel-sweep scaling report: a 100-point constant-V sweep, each point a
+// 200-slot COCA simulation, evaluated through sim::SweepRunner at 1 thread
+// and at COCA_THREADS (default 8) threads.  The report prints the wall-clock
+// speedup and checks — at the bit level — that both runs produced identical
+// per-point metrics, the determinism guarantee of the parallel layer.
+
+std::vector<double> run_v_sweep(const sim::Scenario& scenario,
+                                const std::vector<double>& vs,
+                                std::size_t threads) {
+  sim::SweepRunner runner({.threads = threads});
+  const auto per_point = runner.map(vs, [&](double v) {
+    const auto result = sim::run_coca_constant_v(scenario, v);
+    return std::vector<double>{result.metrics.total_cost(),
+                               result.metrics.total_brown_kwh(),
+                               result.metrics.total_delay_cost(),
+                               static_cast<double>(result.infeasible_slots)};
+  });
+  std::vector<double> flat;
+  flat.reserve(per_point.size() * 4);
+  for (const auto& metrics : per_point) {
+    flat.insert(flat.end(), metrics.begin(), metrics.end());
+  }
+  return flat;
+}
+
+void report_sweep_scaling() {
+  std::size_t threads = 8;
+  if (const char* value = std::getenv("COCA_THREADS")) {
+    const unsigned long parsed = std::strtoul(value, nullptr, 10);
+    if (parsed >= 1) threads = parsed;
+  }
+
+  sim::ScenarioConfig config;
+  config.hours = 200;
+  config.fleet.group_count = 8;
+  const auto scenario = sim::build_scenario(config);
+
+  std::vector<double> vs;
+  for (int i = 0; i < 100; ++i) {
+    vs.push_back(std::pow(10.0, 8.0 * static_cast<double>(i) / 99.0));
+  }
+
+  auto timed = [&](std::size_t n) {
+    const auto start = std::chrono::steady_clock::now();
+    auto metrics = run_v_sweep(scenario, vs, n);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::pair(std::chrono::duration<double>(stop - start).count(),
+                     std::move(metrics));
+  };
+  const auto [serial_s, serial_metrics] = timed(1);
+  const auto [parallel_s, parallel_metrics] = timed(threads);
+
+  bool identical = serial_metrics.size() == parallel_metrics.size();
+  for (std::size_t i = 0; identical && i < serial_metrics.size(); ++i) {
+    identical = std::bit_cast<std::uint64_t>(serial_metrics[i]) ==
+                std::bit_cast<std::uint64_t>(parallel_metrics[i]);
+  }
+
+  std::cout << "-- sweep scaling: 100-point V-sweep (200-slot sims, "
+            << scenario.fleet.group_count() << " groups) --\n"
+            << "   1 thread : " << serial_s << " s\n"
+            << "   " << threads << " threads: " << parallel_s << " s\n"
+            << "   speedup  : " << serial_s / parallel_s << "x (on "
+            << std::thread::hardware_concurrency() << " hardware threads)\n"
+            << "   metrics bit-identical across thread counts: "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  report_sweep_scaling();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

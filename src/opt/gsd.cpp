@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace coca::opt {
+namespace {
+
+/// Deterministic merge order: feasibility first, then lower best objective;
+/// ties keep the earlier chain.  Comparing chain results in ascending chain
+/// id with a strict `better` makes the winner independent of thread count.
+bool better(const GsdResult& a, const GsdResult& b) {
+  if (a.best.feasible != b.best.feasible) return a.best.feasible;
+  return a.best.outcome.objective < b.best.outcome.objective;
+}
+
+}  // namespace
 
 double GsdSolver::acceptance_probability(double delta,
                                          double explored_objective,
@@ -24,8 +37,55 @@ double GsdSolver::acceptance_probability(double delta,
 GsdResult GsdSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
                            const SlotWeights& weights,
                            std::optional<dc::Allocation> initial) const {
+  const int chains = std::max(1, config_.chains);
+  if (chains == 1) {
+    return solve_chain(fleet, input, weights, initial, config_.seed);
+  }
+
+  // Chain c draws from the deterministically derived stream seed ^ c, so
+  // chain 0 reproduces the single-chain run and the chain set is a pure
+  // function of the config.
+  std::vector<GsdResult> per_chain(static_cast<std::size_t>(chains));
+  auto run_chain = [&](std::size_t c) {
+    per_chain[c] =
+        solve_chain(fleet, input, weights, initial,
+                    config_.seed ^ static_cast<std::uint64_t>(c));
+  };
+  const std::size_t hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t threads =
+      config_.threads > 0 ? static_cast<std::size_t>(config_.threads)
+                          : std::min(static_cast<std::size_t>(chains), hardware);
+  if (threads <= 1) {
+    for (std::size_t c = 0; c < per_chain.size(); ++c) run_chain(c);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(per_chain.size(), run_chain);
+  }
+
+  // Merge in ascending chain order — never completion order.
+  std::size_t winner = 0;
+  for (std::size_t c = 1; c < per_chain.size(); ++c) {
+    if (better(per_chain[c], per_chain[winner])) winner = c;
+  }
+  GsdResult merged = per_chain[winner];
+  merged.evaluations = 0;
+  merged.accepted = 0;
+  for (const auto& chain : per_chain) {
+    merged.evaluations += chain.evaluations;
+    merged.accepted += chain.accepted;
+  }
+  merged.chains_run = chains;
+  merged.winning_chain = static_cast<int>(winner);
+  return merged;
+}
+
+GsdResult GsdSolver::solve_chain(const dc::Fleet& fleet, const SlotInput& input,
+                                 const SlotWeights& weights,
+                                 const std::optional<dc::Allocation>& initial,
+                                 std::uint64_t seed) const {
   GsdResult result;
-  util::Rng rng(config_.seed);
+  util::Rng rng(seed);
 
   // Initialization (line 1): a feasible starting configuration.
   dc::Allocation kept =

@@ -14,6 +14,12 @@
 // As in the paper, infeasible explorations (line 2's capacity check fails)
 // are skipped, and an adaptive schedule can raise delta over iterations so
 // the chain first explores, then concentrates ("advisory approach", Sec. 4.2).
+//
+// Multi-chain mode: `chains > 1` runs that many *independent* Gibbs chains
+// concurrently, chain c seeded with `seed ^ c` (so chain 0 reproduces the
+// single-chain run bit-for-bit), and merges to the best feasible incumbent
+// in deterministic chain order.  Results are a pure function of the config —
+// identical at 1 thread and N threads.
 
 #include <cstdint>
 #include <optional>
@@ -36,6 +42,11 @@ struct GsdConfig {
   std::uint64_t seed = 1;
   /// Record the kept objective after every iteration (Fig. 4 trajectories).
   bool record_trajectory = false;
+  /// Independent Gibbs chains run concurrently; chain c uses seed ^ c.
+  int chains = 1;
+  /// Worker threads for multi-chain runs: 0 = one per chain (capped at the
+  /// hardware), 1 = serial.  Has no effect on the merged result.
+  int threads = 0;
 };
 
 struct GsdResult {
@@ -44,6 +55,8 @@ struct GsdResult {
   std::vector<double> trajectory;    ///< kept objective per iteration
   int evaluations = 0;               ///< load-balance solves performed
   int accepted = 0;                  ///< exploration acceptances
+  int chains_run = 1;                ///< chains merged into this result
+  int winning_chain = 0;             ///< chain that supplied solution/best
 };
 
 class GsdSolver {
@@ -64,6 +77,12 @@ class GsdSolver {
                                        double kept_objective);
 
  private:
+  /// One serial Gibbs chain (Algorithm 2) with an explicit seed.
+  GsdResult solve_chain(const dc::Fleet& fleet, const SlotInput& input,
+                        const SlotWeights& weights,
+                        const std::optional<dc::Allocation>& initial,
+                        std::uint64_t seed) const;
+
   GsdConfig config_;
 };
 

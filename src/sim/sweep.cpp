@@ -1,0 +1,20 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace coca::sim {
+
+std::size_t threads_from_env() {
+  if (const char* value = std::getenv("COCA_THREADS")) {
+    const unsigned long parsed = std::strtoul(value, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : pool_(options.threads != 0 ? options.threads : threads_from_env()) {}
+
+}  // namespace coca::sim

@@ -10,6 +10,7 @@
 #include <limits>
 
 #include "opt/exhaustive_solver.hpp"
+#include "util/rng.hpp"
 
 namespace coca::opt {
 namespace {
@@ -180,6 +181,82 @@ TEST(Gsd, AdaptiveTemperatureImprovesOverColdStart) {
   const auto result = GsdSolver(adaptive).solve(fleet, input, w);
   const auto exact = ExhaustiveSolver().solve(fleet, input, w);
   EXPECT_LE(result.best.outcome.objective, exact.outcome.objective * 1.05);
+}
+
+TEST(GsdAcceptance, RandomizedPropertySweep) {
+  // Fuzzed invariants over the whole positive domain:
+  //   (a) u is always a probability in [0, 1];
+  //   (b) for fixed kept objective and temperature, u is non-increasing in
+  //       the explored objective (better explorations are never *less*
+  //       likely to be accepted);
+  //   (c) the non-finite guards return exactly 0 (bad exploration) and
+  //       exactly 1 (bad kept state).
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    const double delta = std::pow(10.0, rng.uniform(-3.0, 8.0));
+    const double kept = std::pow(10.0, rng.uniform(-6.0, 9.0));
+    const double lo = std::pow(10.0, rng.uniform(-6.0, 9.0));
+    const double hi = lo * (1.0 + rng.uniform(0.0, 4.0));
+
+    const double u_lo = GsdSolver::acceptance_probability(delta, lo, kept);
+    const double u_hi = GsdSolver::acceptance_probability(delta, hi, kept);
+    ASSERT_GE(u_lo, 0.0);
+    ASSERT_LE(u_lo, 1.0);
+    ASSERT_GE(u_hi, 0.0);
+    ASSERT_LE(u_hi, 1.0);
+    // Monotonicity: lo <= hi (smaller = better objective) => u_lo >= u_hi.
+    ASSERT_GE(u_lo, u_hi) << "delta=" << delta << " kept=" << kept
+                          << " lo=" << lo << " hi=" << hi;
+  }
+  // The guards of gsd.cpp lines 14-15: exactly 0 / exactly 1, never NaN.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (double delta : {1e-3, 1.0, 1e6, 1e300}) {
+    EXPECT_EQ(GsdSolver::acceptance_probability(delta, inf, 2.0), 0.0);
+    EXPECT_EQ(GsdSolver::acceptance_probability(delta, nan, 2.0), 0.0);
+    EXPECT_EQ(GsdSolver::acceptance_probability(delta, 2.0, inf), 1.0);
+    EXPECT_EQ(GsdSolver::acceptance_probability(delta, 2.0, nan), 1.0);
+    EXPECT_EQ(GsdSolver::acceptance_probability(delta, inf, inf), 0.0);
+  }
+}
+
+TEST(GsdMultiChain, MergedBestNeverWorseThanChainZero) {
+  // Chain 0 of a multi-chain run replays the single-chain stream (seed ^ 0),
+  // and the merge takes the best feasible incumbent over all chains — so the
+  // merged best can never be worse than the single-chain best.
+  const auto fleet = small_fleet();
+  const SlotInput input{20.0, 0.0, 0.06};
+  const auto w = test_weights();
+  for (std::uint64_t seed : {1ULL, 7ULL, 23ULL}) {
+    GsdConfig single;
+    single.iterations = 250;
+    single.delta = 1e4;
+    single.seed = seed;
+    GsdConfig multi = single;
+    multi.chains = 4;
+    const auto one = GsdSolver(single).solve(fleet, input, w);
+    const auto merged = GsdSolver(multi).solve(fleet, input, w);
+    EXPECT_EQ(merged.chains_run, 4);
+    EXPECT_LE(merged.best.outcome.objective,
+              one.best.outcome.objective + 1e-12);
+  }
+}
+
+TEST(GsdMultiChain, EvaluationBudgetScalesWithChains) {
+  const auto fleet = small_fleet();
+  const SlotInput input{20.0, 0.0, 0.06};
+  const auto w = test_weights();
+  GsdConfig config;
+  config.iterations = 100;
+  config.chains = 3;
+  config.seed = 5;
+  const auto result = GsdSolver(config).solve(fleet, input, w);
+  // Each chain performs at most iterations+1 evaluations (initial + one per
+  // feasible exploration) and at least the initial one.
+  EXPECT_GE(result.evaluations, 3);
+  EXPECT_LE(result.evaluations, 3 * (config.iterations + 1));
+  EXPECT_GE(result.winning_chain, 0);
+  EXPECT_LT(result.winning_chain, 3);
 }
 
 TEST(Gsd, HandlesDeficitPressure) {
