@@ -28,9 +28,10 @@ opt::SlotSolution CocaController::plan(std::size_t t,
 void CocaController::observe(std::size_t t, const opt::SlotOutcome& billed,
                              double offsite_kwh) {
   (void)t;
-  // Line 6: Eq. 17 with the realized f(t).
-  queue_.update(billed.brown_kwh, offsite_kwh, config_.alpha,
-                config_.rec_per_slot);
+  // Line 6: Eq. 17 with the realized f(t) — through the typed layer, so the
+  // queue only ever ingests energies.
+  queue_.update(billed.brown_energy(), units::KiloWattHours{offsite_kwh},
+                config_.alpha, units::KiloWattHours{config_.rec_per_slot});
 }
 
 }  // namespace coca::core

@@ -1,21 +1,25 @@
 #include "core/deficit_queue.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace coca::core {
 
-double CarbonDeficitQueue::update(double brown_kwh, double offsite_kwh,
-                                  double alpha, double rec_per_slot) {
-  if (brown_kwh < 0.0 || offsite_kwh < 0.0 || rec_per_slot < 0.0) {
+units::KiloWattHours CarbonDeficitQueue::update(
+    units::KiloWattHours brown, units::KiloWattHours offsite, double alpha,
+    units::KiloWattHours rec_per_slot) {
+  if (brown.value() < 0.0 || offsite.value() < 0.0 ||
+      rec_per_slot.value() < 0.0) {
     throw std::invalid_argument("CarbonDeficitQueue::update: negative input");
   }
   if (alpha <= 0.0) {
     throw std::invalid_argument("CarbonDeficitQueue::update: alpha must be > 0");
   }
-  q_ = std::max(0.0, q_ + brown_kwh - alpha * offsite_kwh - rec_per_slot);
+  // Eq. 17: q(t+1) = [ q(t) + y(t) - alpha*f(t) - z ]^+ — all kWh.
+  const units::KiloWattHours next =
+      units::positive_part(deficit() + brown - alpha * offsite - rec_per_slot);
+  q_ = next.value();
   history_.push_back(q_);
-  return q_;
+  return next;
 }
 
 }  // namespace coca::core

@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace coca::core {
 
 class CarbonDeficitQueue {
@@ -19,12 +21,25 @@ class CarbonDeficitQueue {
   CarbonDeficitQueue() = default;
 
   double length() const { return q_; }
+  /// Queue length as the energy deficit it measures (kWh).
+  units::KiloWattHours deficit() const { return units::KiloWattHours{q_}; }
 
-  /// Apply Eq. 17 for one slot.  `brown_kwh` = y(t), `offsite_kwh` = f(t),
-  /// `alpha` and `rec_per_slot` (= z) come from the carbon budget.
-  /// Returns the new queue length.
+  /// Apply Eq. 17 for one slot.  `brown` = y(t), `offsite` = f(t), `alpha`
+  /// and `rec_per_slot` (= z) come from the carbon budget.  Every term of
+  /// Eq. 17 is energy — the typed signature makes a power-for-energy mixup
+  /// (kW where kWh belongs) a compile error.  Returns the new queue length.
+  units::KiloWattHours update(units::KiloWattHours brown,
+                              units::KiloWattHours offsite, double alpha,
+                              units::KiloWattHours rec_per_slot);
+
+  /// Raw-double escape hatch; delegates to the typed overload.
   double update(double brown_kwh, double offsite_kwh, double alpha,
-                double rec_per_slot);
+                double rec_per_slot) {
+    return update(units::KiloWattHours{brown_kwh},
+                  units::KiloWattHours{offsite_kwh}, alpha,
+                  units::KiloWattHours{rec_per_slot})
+        .value();
+  }
 
   /// Frame reset (Algorithm 1 lines 2-4).
   void reset() { q_ = 0.0; }

@@ -34,17 +34,18 @@ double DynamicRecCocaController::purchase_decision(std::size_t t,
   if (t >= market_.spot_price.size()) return 0.0;
   const double v = config_.schedule.v_for_slot(t);
   const double price = market_.spot_price[t];
-  // Drift-plus-penalty: buy iff alpha * q > V * c(t).
+  // Drift-plus-penalty: buy iff alpha * q > V * c(t).  The threshold compares
+  // Lyapunov weights across units (shadow-price algebra), so it stays raw.
   if (config_.alpha * queue_length <= v * price) return 0.0;
-  double amount = market_.max_per_slot_kwh;
+  units::KiloWattHours amount{market_.max_per_slot_kwh};
   if (market_.max_total_kwh > 0.0) {
-    amount = std::min(amount,
-                      market_.max_total_kwh - ledger_.purchased_total());
+    amount = units::min(
+        amount, units::KiloWattHours{market_.max_total_kwh} - purchased());
   }
   // Never buy more than the queue can absorb (the extra would be clamped
   // away by the [.]^+ in Eq. 17 and the money wasted).
-  amount = std::min(amount, queue_length / config_.alpha);
-  return std::max(0.0, amount);
+  amount = units::min(amount, units::KiloWattHours{queue_length} / config_.alpha);
+  return units::positive_part(amount).value();
 }
 
 void DynamicRecCocaController::observe(std::size_t t,
@@ -52,8 +53,8 @@ void DynamicRecCocaController::observe(std::size_t t,
                                        double offsite_kwh) {
   // First the ordinary Eq. 17 update with the realized off-site renewables
   // and any pre-purchased per-slot block ...
-  queue_.update(billed.brown_kwh, offsite_kwh, config_.alpha,
-                config_.rec_per_slot);
+  queue_.update(billed.brown_energy(), units::KiloWattHours{offsite_kwh},
+                config_.alpha, units::KiloWattHours{config_.rec_per_slot});
   // ... then the procurement decision against the post-update queue: the
   // purchase offsets deficit exactly like alpha*f would have.
   const double bought = purchase_decision(t, queue_.length());
@@ -63,8 +64,12 @@ void DynamicRecCocaController::observe(std::size_t t,
     // Retired immediately against the deficit; clamped so accumulated
     // floating-point drift in the ledger can never throw mid-year.
     ledger_.retire_up_to(bought);
-    spend_ += bought * market_.spot_price[t];
-    queue_.update(0.0, bought, config_.alpha, 0.0);
+    // kWh * $/kWh -> $, dimension-checked.
+    const units::Usd cost = units::KiloWattHours{bought} *
+                            units::UsdPerKwh{market_.spot_price[t]};
+    spend_ += cost.value();
+    queue_.update(units::KiloWattHours{}, units::KiloWattHours{bought},
+                  config_.alpha, units::KiloWattHours{});
   }
 }
 

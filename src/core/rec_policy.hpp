@@ -53,6 +53,11 @@ class DynamicRecCocaController final : public SlotController {
   const energy::RecLedger& ledger() const { return ledger_; }
   double total_spend() const { return spend_; }
   double total_purchased_kwh() const { return ledger_.purchased_total(); }
+  /// Typed views (util/units.hpp) of the procurement totals.
+  units::Usd spend() const { return units::Usd{spend_}; }
+  units::KiloWattHours purchased() const {
+    return units::KiloWattHours{ledger_.purchased_total()};
+  }
   /// Per-slot purchases so far (kWh).
   const std::vector<double>& purchase_history() const { return purchases_; }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dc/server_group.hpp"
+#include "util/units.hpp"
 
 namespace coca::dc {
 
@@ -25,6 +26,10 @@ class Fleet {
   double max_capacity() const;
   /// Peak IT power (kW), all servers at top speed and full load.
   double peak_power_kw() const;
+  /// Same, through the typed layer (util/units.hpp).
+  units::KiloWatts peak_power() const {
+    return units::KiloWatts{peak_power_kw()};
+  }
 
  private:
   std::vector<ServerGroup> groups_;

@@ -42,10 +42,29 @@ double brown_power_kw(double facility_kw, double onsite_kw) {
 
 double electricity_cost(double price_per_kwh, double facility_kw,
                         double onsite_kw, double slot_hours) {
-  if (price_per_kwh < 0.0 || slot_hours <= 0.0) {
+  return electricity_cost(units::UsdPerKwh{price_per_kwh},
+                          units::KiloWatts{facility_kw},
+                          units::KiloWatts{onsite_kw},
+                          units::Hours{slot_hours})
+      .value();
+}
+
+units::KiloWatts it_power(const Fleet& fleet, const Allocation& alloc) {
+  return units::KiloWatts{it_power_kw(fleet, alloc)};
+}
+
+units::KiloWatts facility_power(const Fleet& fleet, const Allocation& alloc,
+                                double pue) {
+  return units::KiloWatts{facility_power_kw(fleet, alloc, pue)};
+}
+
+units::Usd electricity_cost(units::UsdPerKwh price, units::KiloWatts facility,
+                            units::KiloWatts onsite, units::Hours slot) {
+  if (price.value() < 0.0 || slot.value() <= 0.0) {
     throw std::invalid_argument("electricity_cost: bad price/slot length");
   }
-  return price_per_kwh * brown_power_kw(facility_kw, onsite_kw) * slot_hours;
+  // Eq. 3: kW * h -> kWh, then kWh * $/kWh -> $ — checked by the type system.
+  return brown_power(facility, onsite) * slot * price;
 }
 
 bool allocation_feasible(const Fleet& fleet, const Allocation& alloc,

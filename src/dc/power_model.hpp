@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dc/fleet.hpp"
+#include "util/units.hpp"
 
 namespace coca::dc {
 
@@ -42,6 +43,28 @@ double brown_power_kw(double facility_kw, double onsite_kw);
 /// Electricity cost for one slot ($): w * [p - r]^+ * slot_hours, Eq. 3.
 double electricity_cost(double price_per_kwh, double facility_kw,
                         double onsite_kw, double slot_hours);
+
+// Typed layer (see util/units.hpp): the same model with the dimensions in
+// the signatures, so a kW-vs-kWh or $-vs-$/kWh mixup fails to compile.  The
+// raw-double functions above remain the solver-math escape hatch.
+
+/// Eq. 2 as power.
+units::KiloWatts it_power(const Fleet& fleet, const Allocation& alloc);
+
+/// PUE-scaled facility power.
+units::KiloWatts facility_power(const Fleet& fleet, const Allocation& alloc,
+                                double pue);
+
+/// Eq. 3's bracket [p - r]^+ — both operands must be power.
+constexpr units::KiloWatts brown_power(units::KiloWatts facility,
+                                       units::KiloWatts onsite) {
+  return units::positive_part(facility - onsite);
+}
+
+/// Eq. 3 end to end: w * [p - r]^+ * slot -> dollars.  The implementation is
+/// the dimension-checked product; the raw overload delegates here.
+units::Usd electricity_cost(units::UsdPerKwh price, units::KiloWatts facility,
+                            units::KiloWatts onsite, units::Hours slot);
 
 /// Validate an allocation against the fleet and the utilization cap
 /// (constraints 7 and 9 plus physical bounds).  Returns true if feasible;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "util/units.hpp"
 #include "workload/trace.hpp"
 
 namespace coca::energy {
@@ -24,9 +25,19 @@ struct PriceConfig {
   double spike_scale = 2.5;         ///< mean multiple of base at a spike
   double floor_price = 0.005;       ///< $/kWh hard floor
   std::uint64_t seed = 303;
+
+  // Typed views (util/units.hpp) of the $/kWh knobs.
+  units::UsdPerKwh base() const { return units::UsdPerKwh{base_price}; }
+  units::UsdPerKwh floor() const { return units::UsdPerKwh{floor_price}; }
 };
 
 /// Generate the price trace ($/kWh per hourly slot).
 coca::workload::Trace make_price_trace(const PriceConfig& config = {});
+
+/// Typed read of one slot of a price trace.
+inline units::UsdPerKwh price_at(const coca::workload::Trace& trace,
+                                 std::size_t t) {
+  return units::UsdPerKwh{trace[t]};
+}
 
 }  // namespace coca::energy

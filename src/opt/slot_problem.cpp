@@ -19,18 +19,29 @@ SlotOutcome evaluate(const dc::Fleet& fleet, const dc::Allocation& alloc,
     return out;
   }
 
-  out.it_power_kw = dc::it_power_kw(fleet, alloc);
-  out.facility_power_kw = weights.pue * out.it_power_kw;
-  out.brown_kwh =
-      dc::brown_power_kw(out.facility_power_kw, input.onsite_kw) *
-      weights.slot_hours;
-  out.electricity_cost = input.price * out.brown_kwh;
+  // Cost accounting through the typed layer (util/units.hpp): each line is a
+  // dimensional identity the compiler checks — kW * h -> kWh,
+  // kWh * $/kWh -> $, $/h * h -> $.
+  const units::Hours slot = weights.slot_duration();
+  const units::KiloWatts it = dc::it_power(fleet, alloc);
+  const units::KiloWatts facility = weights.pue * it;
+  const units::KiloWattHours brown =
+      dc::brown_power(facility, input.onsite_power()) * slot;
+  const units::Usd electricity = brown * input.price_per_kwh();
   out.delay_jobs = dc::total_delay_jobs(fleet, alloc);
-  out.delay_cost = weights.beta * out.delay_jobs * weights.slot_hours;
-  out.total_cost = out.electricity_cost + out.delay_cost;
-  out.objective = weights.V * out.total_cost + weights.q * out.brown_kwh +
-                  weights.power_price * out.facility_power_kw *
-                      weights.slot_hours;
+  const units::Usd delay = units::UsdPerHour{weights.beta * out.delay_jobs} * slot;
+  const units::Usd total = electricity + delay;
+
+  out.it_power_kw = it.value();
+  out.facility_power_kw = facility.value();
+  out.brown_kwh = brown.value();
+  out.electricity_cost = electricity.value();
+  out.delay_cost = delay.value();
+  out.total_cost = total.value();
+  // Eq. 16 mixes the Lyapunov weights V and q across units (solver math, not
+  // physics) — .value() is the sanctioned boundary.
+  out.objective = weights.V * total.value() + weights.q * brown.value() +
+                  weights.power_price * facility.value() * slot.value();
   out.feasible = true;
   return out;
 }

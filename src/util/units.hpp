@@ -1,0 +1,245 @@
+#pragma once
+// Zero-overhead dimensional types for the quantities COCA's model mixes on
+// every slot: power [kW], energy [kWh], money [$], prices [$/kWh], workload
+// rates [req/s], carbon mass [kgCO2] and slot time [h].
+//
+// The classic failure mode of carbon-accounting code is a silent kW-vs-kWh or
+// $-vs-$/kWh mixup — every term in P3 (Eq. 16) is a bare double.  A
+// Quantity<Dim> carries its dimension in the type: adding a KiloWatts to a
+// KiloWattHours does not compile, while the legal conversions are expressed
+// by ordinary arithmetic,
+//     KiloWatts * Hours        -> KiloWattHours
+//     KiloWattHours * UsdPerKwh -> Usd
+//     KiloWattHours * KgCo2PerKwh -> KgCo2
+// and a same-dimension ratio collapses back to a plain double.
+//
+// Design rules:
+//  * a Quantity is exactly one double (static_assert'ed below); every
+//    operation is constexpr and inlines to the raw arithmetic — there is no
+//    runtime overhead, the checking happens entirely in the type system;
+//  * construction from double is explicit and the raw value only comes back
+//    out through .value() — the escape hatch for solver-math boundaries
+//    (GSD / ladder / dual-decomposition inner loops stay raw-double fast);
+//  * the Lyapunov weights V and q are intentionally *not* quantities: in the
+//    drift-plus-penalty objective V*g + q*y they act as unit-bridging shadow
+//    prices (q multiplies kWh yet is commensurable with V*$), which is
+//    solver math, not physics — type the inputs and outputs, not the knobs.
+
+#include <compare>
+#include <type_traits>
+
+namespace coca::units {
+
+/// Integer exponents over the five base axes of the model:
+/// energy [kWh], time [h], money [$], workload rate [req/s], carbon [kgCO2].
+/// (Workload rate is an atomic axis: the model never integrates req/s over
+/// slot time in the typed layer — job counts live in the DES layer, raw.)
+template <int EnergyExp, int TimeExp, int MoneyExp, int RateExp, int MassExp>
+struct Dim {
+  static constexpr int energy = EnergyExp;
+  static constexpr int time = TimeExp;
+  static constexpr int money = MoneyExp;
+  static constexpr int rate = RateExp;
+  static constexpr int mass = MassExp;
+};
+
+using ScalarDim = Dim<0, 0, 0, 0, 0>;
+
+namespace detail {
+
+template <class A, class B>
+using MulDim = Dim<A::energy + B::energy, A::time + B::time,
+                   A::money + B::money, A::rate + B::rate, A::mass + B::mass>;
+
+template <class A, class B>
+using DivDim = Dim<A::energy - B::energy, A::time - B::time,
+                   A::money - B::money, A::rate - B::rate, A::mass - B::mass>;
+
+}  // namespace detail
+
+template <class D>
+class Quantity {
+ public:
+  using dimension = D;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  /// The raw magnitude — the one sanctioned escape hatch.  Use at solver-math
+  /// boundaries and I/O, not to dodge a dimension error.
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  // Same-dimension linear arithmetic.  Mixed dimensions have no overload and
+  // fail to compile — that is the point.
+  constexpr Quantity operator+(Quantity o) const { return Quantity{v_ + o.v_}; }
+  constexpr Quantity operator-(Quantity o) const { return Quantity{v_ - o.v_}; }
+  constexpr Quantity operator-() const { return Quantity{-v_}; }
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  // Dimensionless scaling (e.g. PUE * it_power, alpha * offsite).
+  constexpr Quantity operator*(double s) const { return Quantity{v_ * s}; }
+  constexpr Quantity operator/(double s) const { return Quantity{v_ / s}; }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+  friend constexpr Quantity operator*(double s, Quantity q) {
+    return Quantity{s * q.v_};
+  }
+
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Dimension-combining multiply; a product that lands on ScalarDim collapses
+/// to plain double so dimensionless ratios never wrap.
+template <class D1, class D2>
+constexpr auto operator*(Quantity<D1> a, Quantity<D2> b) {
+  using R = detail::MulDim<D1, D2>;
+  if constexpr (std::is_same_v<R, ScalarDim>) {
+    return a.value() * b.value();
+  } else {
+    return Quantity<R>{a.value() * b.value()};
+  }
+}
+
+template <class D1, class D2>
+constexpr auto operator/(Quantity<D1> a, Quantity<D2> b) {
+  using R = detail::DivDim<D1, D2>;
+  if constexpr (std::is_same_v<R, ScalarDim>) {
+    return a.value() / b.value();
+  } else {
+    return Quantity<R>{a.value() / b.value()};
+  }
+}
+
+/// double / Quantity inverts the dimension ($1 / price = kWh per dollar).
+template <class D>
+constexpr auto operator/(double s, Quantity<D> q) {
+  return Quantity<detail::DivDim<ScalarDim, D>>{s / q.value()};
+}
+
+// ---------------------------------------------------------------------------
+// The named quantities of COCA's model.
+
+using Hours = Quantity<Dim<0, 1, 0, 0, 0>>;            ///< slot time
+using KiloWattHours = Quantity<Dim<1, 0, 0, 0, 0>>;    ///< energy y(t), f(t)
+using KiloWatts = Quantity<Dim<1, -1, 0, 0, 0>>;       ///< power p, r(t)
+using Usd = Quantity<Dim<0, 0, 1, 0, 0>>;              ///< cost e(t), g(t)
+using UsdPerKwh = Quantity<Dim<-1, 0, 1, 0, 0>>;       ///< price w(t)
+using UsdPerHour = Quantity<Dim<0, -1, 1, 0, 0>>;      ///< delay-cost rate
+using RequestsPerSec = Quantity<Dim<0, 0, 0, 1, 0>>;   ///< workload lambda
+using KgCo2 = Quantity<Dim<0, 0, 0, 0, 1>>;            ///< emitted carbon
+using KgCo2PerKwh = Quantity<Dim<-1, 0, 0, 0, 1>>;     ///< grid intensity
+
+// Factories — the readable way to lift a raw double into the typed layer.
+constexpr Hours hours(double h) { return Hours{h}; }
+constexpr Hours seconds(double s) { return Hours{s / 3600.0}; }
+constexpr KiloWattHours kwh(double e) { return KiloWattHours{e}; }
+constexpr KiloWatts kw(double p) { return KiloWatts{p}; }
+constexpr Usd usd(double d) { return Usd{d}; }
+constexpr UsdPerKwh usd_per_kwh(double w) { return UsdPerKwh{w}; }
+constexpr RequestsPerSec rps(double l) { return RequestsPerSec{l}; }
+constexpr KgCo2 kg_co2(double m) { return KgCo2{m}; }
+constexpr KgCo2PerKwh kg_co2_per_kwh(double i) { return KgCo2PerKwh{i}; }
+
+inline namespace literals {
+constexpr KiloWatts operator""_kw(long double v) {
+  return KiloWatts{static_cast<double>(v)};
+}
+constexpr KiloWatts operator""_kw(unsigned long long v) {
+  return KiloWatts{static_cast<double>(v)};
+}
+constexpr KiloWattHours operator""_kwh(long double v) {
+  return KiloWattHours{static_cast<double>(v)};
+}
+constexpr KiloWattHours operator""_kwh(unsigned long long v) {
+  return KiloWattHours{static_cast<double>(v)};
+}
+constexpr Usd operator""_usd(long double v) {
+  return Usd{static_cast<double>(v)};
+}
+constexpr Usd operator""_usd(unsigned long long v) {
+  return Usd{static_cast<double>(v)};
+}
+constexpr Hours operator""_h(long double v) {
+  return Hours{static_cast<double>(v)};
+}
+constexpr Hours operator""_h(unsigned long long v) {
+  return Hours{static_cast<double>(v)};
+}
+}  // namespace literals
+
+// Quantity-aware helpers (std::max/min/abs would strip the type).
+template <class D>
+constexpr Quantity<D> max(Quantity<D> a, Quantity<D> b) {
+  return a.value() >= b.value() ? a : b;
+}
+template <class D>
+constexpr Quantity<D> min(Quantity<D> a, Quantity<D> b) {
+  return a.value() <= b.value() ? a : b;
+}
+template <class D>
+constexpr Quantity<D> abs(Quantity<D> a) {
+  return a.value() < 0.0 ? -a : a;
+}
+/// The [.]^+ clamp that appears in Eq. 3 and Eq. 17.
+template <class D>
+constexpr Quantity<D> positive_part(Quantity<D> a) {
+  return a.value() > 0.0 ? a : Quantity<D>{};
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time misuse detection — exported so tests (and reviewers) can
+// assert that the illegal mixes stay illegal.
+
+template <class A, class B, class = void>
+struct is_addable : std::false_type {};
+template <class A, class B>
+struct is_addable<A, B,
+                  std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+template <class A, class B>
+inline constexpr bool is_addable_v = is_addable<A, B>::value;
+
+template <class From, class To>
+inline constexpr bool is_assignable_quantity_v =
+    std::is_assignable_v<To&, From>;
+
+// The library's own contract, checked where it is defined:
+static_assert(sizeof(KiloWatts) == sizeof(double),
+              "Quantity must be exactly one double (zero overhead)");
+static_assert(std::is_trivially_copyable_v<KiloWattHours>,
+              "Quantity must stay trivially copyable");
+static_assert(!is_addable_v<KiloWatts, KiloWattHours>,
+              "kW + kWh must not compile");
+static_assert(!is_addable_v<Usd, UsdPerKwh>, "$ + $/kWh must not compile");
+static_assert(!is_assignable_quantity_v<KiloWatts, KiloWattHours>,
+              "kW must not convert to kWh");
+static_assert(!std::is_convertible_v<double, KiloWatts>,
+              "raw doubles must be lifted explicitly");
+static_assert(std::is_same_v<decltype(kw(1.0) * hours(1.0)), KiloWattHours>,
+              "kW * h -> kWh");
+static_assert(std::is_same_v<decltype(kwh(1.0) * usd_per_kwh(1.0)), Usd>,
+              "kWh * $/kWh -> $");
+static_assert(std::is_same_v<decltype(kwh(1.0) * kg_co2_per_kwh(1.0)), KgCo2>,
+              "kWh * kgCO2/kWh -> kgCO2");
+static_assert(std::is_same_v<decltype(kwh(2.0) / kwh(1.0)), double>,
+              "same-dimension ratio collapses to double");
+static_assert(std::is_same_v<decltype(kwh(1.0) / hours(1.0)), KiloWatts>,
+              "kWh / h -> kW");
+
+}  // namespace coca::units

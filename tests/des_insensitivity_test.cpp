@@ -72,9 +72,9 @@ TEST_P(PsInsensitivity, MeanJobsDependsOnlyOnRho) {
 
 INSTANTIATE_TEST_SUITE_P(RhoSweep, PsInsensitivity,
                          ::testing::Values(0.3, 0.5, 0.7),
-                         [](const auto& info) {
+                         [](const auto& name_info) {
                            return "rho" + std::to_string(static_cast<int>(
-                                              info.param * 100));
+                                              name_info.param * 100));
                          });
 
 TEST(PsInsensitivity, FifoWouldNotBeInsensitive) {

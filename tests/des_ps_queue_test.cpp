@@ -109,9 +109,9 @@ TEST_P(Mg1psValidation, ResponseTimeMatchesAnalytic) {
 INSTANTIATE_TEST_SUITE_P(LoadSweep, Mg1psValidation,
                          ::testing::Values(Mg1psCase{0.2}, Mg1psCase{0.4},
                                            Mg1psCase{0.6}, Mg1psCase{0.8}),
-                         [](const auto& info) {
+                         [](const auto& name_info) {
                            return "rho" + std::to_string(static_cast<int>(
-                                              info.param.rho * 100));
+                                              name_info.param.rho * 100));
                          });
 
 TEST(SlotReplay, FleetDelayMatchesAnalyticModel) {

@@ -94,7 +94,8 @@ TEST(Wind, BoundsAndNonTrivialOutput) {
     energy += trace[t];
   }
   // Capacity factor should be physically plausible (5% .. 70%).
-  const double cf = energy / (config.nameplate_kw * trace.size());
+  const double cf =
+      energy / (config.nameplate_kw * static_cast<double>(trace.size()));
   EXPECT_GT(cf, 0.05);
   EXPECT_LT(cf, 0.7);
 }

@@ -1,0 +1,154 @@
+// Tests for the strong-type quantity library (util/units.hpp): conversion
+// round-trips, the dimensional arithmetic identities the model relies on
+// (kW * h -> kWh, kWh * $/kWh -> $), comparison/accumulation semantics, and —
+// via the SFINAE detection idiom — guarded compile-fail checks that the
+// illegal unit mixes stay illegal.  The "test" for a compile error is a
+// static_assert on a detection trait: if someone ever adds an overload that
+// lets kW + kWh compile, this file stops building.
+
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <type_traits>
+#include <vector>
+
+namespace coca::units {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compile-time misuse rejection (the deliberate-mixup acceptance check).
+
+// Adding across dimensions must not compile.
+static_assert(!is_addable_v<KiloWatts, KiloWattHours>);
+static_assert(!is_addable_v<KiloWattHours, Hours>);
+static_assert(!is_addable_v<Usd, UsdPerKwh>);
+static_assert(!is_addable_v<Usd, KiloWattHours>);
+static_assert(!is_addable_v<RequestsPerSec, KiloWatts>);
+static_assert(!is_addable_v<KgCo2, KiloWattHours>);
+// Same dimension stays addable.
+static_assert(is_addable_v<KiloWatts, KiloWatts>);
+static_assert(is_addable_v<Usd, Usd>);
+
+// Cross-dimension assignment / implicit conversion must not compile: passing
+// a price where power is expected is exactly the slot_problem mixup the
+// library exists to reject.
+static_assert(!std::is_assignable_v<KiloWatts&, UsdPerKwh>);
+static_assert(!std::is_assignable_v<KiloWatts&, KiloWattHours>);
+static_assert(!std::is_convertible_v<UsdPerKwh, KiloWatts>);
+static_assert(!std::is_convertible_v<double, KiloWatts>);
+static_assert(!std::is_convertible_v<KiloWatts, double>);
+static_assert(!std::is_constructible_v<KiloWatts, KiloWattHours>);
+
+// The arithmetic identities, checked as types.
+static_assert(std::is_same_v<decltype(kw(2.0) * hours(3.0)), KiloWattHours>);
+static_assert(std::is_same_v<decltype(hours(3.0) * kw(2.0)), KiloWattHours>);
+static_assert(std::is_same_v<decltype(kwh(5.0) * usd_per_kwh(0.1)), Usd>);
+static_assert(std::is_same_v<decltype(kwh(5.0) / hours(2.0)), KiloWatts>);
+static_assert(std::is_same_v<decltype(usd(3.0) / kwh(2.0)), UsdPerKwh>);
+static_assert(std::is_same_v<decltype(kwh(1.0) * kg_co2_per_kwh(0.4)), KgCo2>);
+static_assert(std::is_same_v<decltype(UsdPerHour{1.0} * hours(2.0)), Usd>);
+// Same-dimension ratios are dimensionless and collapse to double.
+static_assert(std::is_same_v<decltype(kwh(4.0) / kwh(2.0)), double>);
+static_assert(std::is_same_v<decltype(kw(4.0) / kw(2.0)), double>);
+
+// Zero-overhead claims.
+static_assert(sizeof(Usd) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<UsdPerKwh>);
+static_assert(alignof(KiloWatts) == alignof(double));
+
+// The whole algebra is constexpr.
+static_assert((kw(2.0) * hours(3.0)).value() == 6.0);
+static_assert((1.5_kwh + 0.5_kwh).value() == 2.0);
+
+TEST(Units, ConversionRoundTrips) {
+  EXPECT_DOUBLE_EQ(kw(123.5).value(), 123.5);
+  EXPECT_DOUBLE_EQ(kwh(-7.25).value(), -7.25);
+  EXPECT_DOUBLE_EQ(usd(0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(usd_per_kwh(0.06).value(), 0.06);
+  EXPECT_DOUBLE_EQ(rps(1e6).value(), 1e6);
+  EXPECT_DOUBLE_EQ(kg_co2(42.0).value(), 42.0);
+  // seconds() stores hours so times compose with slot durations.
+  EXPECT_DOUBLE_EQ(seconds(3600.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(seconds(90.0).value(), 0.025);
+  // Literals agree with the factories.
+  EXPECT_DOUBLE_EQ((2.5_kw).value(), kw(2.5).value());
+  EXPECT_DOUBLE_EQ((3_kwh).value(), kwh(3.0).value());
+  EXPECT_DOUBLE_EQ((10_usd).value(), usd(10.0).value());
+  EXPECT_DOUBLE_EQ((24_h).value(), hours(24.0).value());
+}
+
+TEST(Units, DimensionalArithmeticIdentities) {
+  // kW * h -> kWh (Eq. 3's power-to-energy step).
+  EXPECT_DOUBLE_EQ((kw(50.0) * hours(0.5)).value(), 25.0);
+  // kWh * $/kWh -> $ (the billing step).
+  EXPECT_DOUBLE_EQ((kwh(100.0) * usd_per_kwh(0.06)).value(), 6.0);
+  // Chained: the whole of Eq. 3 in one expression.
+  const Usd bill = kw(1000.0) * hours(1.0) * usd_per_kwh(0.07);
+  EXPECT_DOUBLE_EQ(bill.value(), 70.0);
+  // kWh / h recovers average power.
+  EXPECT_DOUBLE_EQ((kwh(12.0) / hours(4.0)).value(), 3.0);
+  // Carbon: kWh * kgCO2/kWh -> kgCO2.
+  EXPECT_DOUBLE_EQ((kwh(10.0) * kg_co2_per_kwh(0.45)).value(), 4.5);
+  // Dimensionless scaling (PUE, alpha) keeps the dimension.
+  EXPECT_DOUBLE_EQ((1.3 * kw(100.0)).value(), 130.0);
+  EXPECT_DOUBLE_EQ((kwh(10.0) / 4.0).value(), 2.5);
+  // Inverse: 1 / ($/kWh) -> kWh per dollar, and $ * (kWh/$) -> kWh.
+  const auto kwh_per_usd = 1.0 / usd_per_kwh(0.05);
+  EXPECT_DOUBLE_EQ(kwh_per_usd.value(), 20.0);
+  static_assert(
+      std::is_same_v<decltype(usd(1.0) * kwh_per_usd), KiloWattHours>);
+  EXPECT_DOUBLE_EQ((usd(3.0) * kwh_per_usd).value(), 60.0);
+}
+
+TEST(Units, ComparisonSemantics) {
+  EXPECT_LT(kw(1.0), kw(2.0));
+  EXPECT_GT(usd(5.0), usd(-5.0));
+  EXPECT_EQ(kwh(3.0), kwh(3.0));
+  EXPECT_NE(kwh(3.0), kwh(3.0000001));
+  EXPECT_LE(hours(1.0), hours(1.0));
+  // Ordering through the collapsed ratio.
+  EXPECT_DOUBLE_EQ(kwh(9.0) / kwh(3.0), 3.0);
+}
+
+TEST(Units, AccumulationSemantics) {
+  // Compound ops.
+  KiloWattHours total{};
+  total += kwh(1.5);
+  total += kwh(2.5);
+  total -= kwh(1.0);
+  EXPECT_DOUBLE_EQ(total.value(), 3.0);
+  total *= 2.0;
+  EXPECT_DOUBLE_EQ(total.value(), 6.0);
+  total /= 3.0;
+  EXPECT_DOUBLE_EQ(total.value(), 2.0);
+
+  // std::accumulate over a year of slot energies stays typed.
+  std::vector<KiloWattHours> slots(24, kwh(0.5));
+  const KiloWattHours day =
+      std::accumulate(slots.begin(), slots.end(), KiloWattHours{});
+  EXPECT_DOUBLE_EQ(day.value(), 12.0);
+
+  // Default construction is zero (safe accumulator seed).
+  EXPECT_DOUBLE_EQ(Usd{}.value(), 0.0);
+}
+
+TEST(Units, HelpersMatchSemantics) {
+  EXPECT_DOUBLE_EQ(units::max(kw(3.0), kw(7.0)).value(), 7.0);
+  EXPECT_DOUBLE_EQ(units::min(kw(3.0), kw(7.0)).value(), 3.0);
+  EXPECT_DOUBLE_EQ(units::abs(usd(-4.0)).value(), 4.0);
+  // [.]^+ — Eq. 3 / Eq. 17's clamp.
+  EXPECT_DOUBLE_EQ(positive_part(kw(5.0) - kw(8.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(positive_part(kw(8.0) - kw(5.0)).value(), 3.0);
+  EXPECT_DOUBLE_EQ(positive_part(kwh(0.0)).value(), 0.0);
+}
+
+TEST(Units, NegationAndSubtraction) {
+  EXPECT_DOUBLE_EQ((-kwh(3.0)).value(), -3.0);
+  EXPECT_DOUBLE_EQ((kwh(10.0) - kwh(4.0)).value(), 6.0);
+  EXPECT_DOUBLE_EQ((kw(1.0) - kw(2.5)).value(), -1.5);
+}
+
+}  // namespace
+}  // namespace coca::units

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Determinism lint for COCA's src/ tree.
+
+PR 1 established a hard guarantee: every simulation, sweep and multi-chain
+GSD run is bit-identical across thread counts (enforced at runtime by
+tests/parallel_determinism_test.cpp).  That guarantee dies the moment any
+solver or model path consults a nondeterministic source, so this lint bans
+them statically in src/:
+
+  * C PRNG state:            rand(), srand()
+  * wall-clock time:         std::time, time(NULL)/time(nullptr),
+                             system_clock / steady_clock /
+                             high_resolution_clock
+  * entropy seeding:         std::random_device
+  * unseeded engines:        std::mt19937 m;  (default-constructed —
+                             deterministic in the standard but a smell: all
+                             COCA randomness must flow through util/rng.hpp
+                             with an explicit seed)
+
+Timing *benchmarks* belong in bench/, which is deliberately not scanned.
+
+A finding can be waived with an inline comment naming the reason:
+
+    foo();  // NOLINT-DETERMINISM(reason why this is safe)
+
+Usage:  lint_determinism.py [SRC_DIR ...]
+Exits 0 when clean, 1 with a file:line report otherwise.  Registered as the
+`lint_determinism` CTest test, so `ctest` fails when a hazard lands.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# (name, compiled regex, message) — applied per line, comments stripped.
+RULES = [
+    (
+        "c-prng",
+        re.compile(r"(?<![\w:])s?rand\s*\("),
+        "C rand()/srand() — use util/rng.hpp with an explicit seed",
+    ),
+    (
+        "wall-clock",
+        re.compile(r"std\s*::\s*time\b|(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+        "wall-clock time() — solver paths must not read the clock",
+    ),
+    (
+        "chrono-clock",
+        re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+        "std::chrono clock — timing belongs in bench/, not src/",
+    ),
+    (
+        "random-device",
+        re.compile(r"\brandom_device\b"),
+        "std::random_device — entropy seeding breaks reproducibility",
+    ),
+    (
+        "unseeded-engine",
+        re.compile(r"\bmt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\})"),
+        "default-constructed mt19937 — seed explicitly via util/rng.hpp",
+    ),
+]
+
+WAIVER = re.compile(r"NOLINT-DETERMINISM\(([^)]+)\)")
+LINE_COMMENT = re.compile(r"//.*$")
+EXTENSIONS = {".hpp", ".cpp", ".h", ".cc", ".cxx"}
+
+
+def strip_block_comments(text: str) -> str:
+    """Blank out /* ... */ spans, preserving line structure."""
+    out = []
+    in_block = False
+    i = 0
+    while i < len(text):
+        if in_block:
+            end = text.find("*/", i)
+            if end == -1:
+                out.append(re.sub(r"[^\n]", " ", text[i:]))
+                break
+            out.append(re.sub(r"[^\n]", " ", text[i : end + 2]))
+            i = end + 2
+            in_block = False
+        else:
+            start = text.find("/*", i)
+            if start == -1:
+                out.append(text[i:])
+                break
+            out.append(text[i:start])
+            i = start + 2
+            out.append("/*")
+            in_block = True
+    return "".join(out)
+
+
+def lint_file(path: Path) -> list[str]:
+    findings = []
+    text = strip_block_comments(path.read_text(encoding="utf-8"))
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        if WAIVER.search(raw_line):
+            continue  # waived with a reason — trusted
+        line = LINE_COMMENT.sub("", raw_line)
+        for name, pattern, message in RULES:
+            if pattern.search(line):
+                findings.append(
+                    f"{path}:{lineno}: [{name}] {message}\n    {raw_line.strip()}"
+                )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(a) for a in argv[1:]] or [Path(__file__).resolve().parent.parent / "src"]
+    files = sorted(
+        p for root in roots for p in root.rglob("*") if p.suffix in EXTENSIONS
+    )
+    if not files:
+        print(f"lint_determinism: no sources found under {roots}", file=sys.stderr)
+        return 2
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path))
+    if findings:
+        print(f"lint_determinism: {len(findings)} hazard(s) found:\n")
+        print("\n".join(findings))
+        print(
+            "\nEvery use of randomness or time in src/ must go through "
+            "util/rng.hpp with an explicit seed, or carry a "
+            "NOLINT-DETERMINISM(reason) waiver."
+        )
+        return 1
+    print(f"lint_determinism: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

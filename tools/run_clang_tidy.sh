@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the repo's curated .clang-tidy over src/ (or an explicit file list,
+# e.g. the changed files of a PR).
+#
+#   tools/run_clang_tidy.sh                 # whole src/ tree
+#   tools/run_clang_tidy.sh src/opt/gsd.cpp # specific files
+#
+# Needs clang-tidy on PATH and a compile_commands.json; the `review` preset
+# produces one (cmake --preset review).  Exits 0 with a notice when
+# clang-tidy is unavailable so callers (CI optional steps, dev boxes with a
+# gcc-only toolchain) degrade gracefully instead of failing the build.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH — skipping (install" \
+       "clang-tidy >= 15 to run the static-analysis profile)"
+  exit 0
+fi
+
+build_dir=""
+for candidate in "$repo/build-review" "$repo/build"; do
+  if [[ -f "$candidate/compile_commands.json" ]]; then
+    build_dir="$candidate"
+    break
+  fi
+done
+if [[ -z "$build_dir" ]]; then
+  echo "run_clang_tidy: no compile_commands.json found; generating via the" \
+       "review preset ..."
+  cmake --preset review >/dev/null
+  build_dir="$repo/build-review"
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(find "$repo/src" -name '*.cpp' | sort)
+fi
+
+echo "run_clang_tidy: ${#files[@]} file(s), compile db: $build_dir"
+clang-tidy -p "$build_dir" --quiet "${files[@]}"
+echo "run_clang_tidy: clean"
