@@ -9,6 +9,8 @@
 //   COCA_BENCH_HOURS   horizon in hourly slots   (default 8760 = the paper's year)
 //   COCA_BENCH_GROUPS  fleet group granularity   (default 16 for year sweeps)
 //   COCA_BENCH_CSV     set to 1 to also print raw CSV blocks
+//   COCA_BENCH_JSON    set to 1 to write a BENCH_<suite>.json artifact
+//   COCA_BENCH_JSON_DIR  directory for BENCH_*.json (implies writing)
 //   COCA_THREADS       sweep worker threads      (default: hardware threads)
 //
 // Sweep-style benches evaluate their independent points through
@@ -19,6 +21,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/bench_report.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
 #include "util/table.hpp"
@@ -76,6 +79,17 @@ inline void emit(const util::Table& table) {
     std::cout << "\n-- csv --\n";
     table.print_csv(std::cout);
   }
+}
+
+/// Write the machine-readable BENCH_<suite>.json artifact (schema
+/// "coca-bench-v1", see src/obs/bench_report.hpp) when the run opted in via
+/// COCA_BENCH_JSON=1 or COCA_BENCH_JSON_DIR.  Prints the path written so CI
+/// logs link output to artifact.
+inline void emit_bench_report(const obs::BenchReport& report) {
+  if (!env_flag("COCA_BENCH_JSON") && !std::getenv("COCA_BENCH_JSON_DIR")) {
+    return;
+  }
+  std::cout << "bench json: " << report.write() << "\n";
 }
 
 }  // namespace coca::bench

@@ -1,0 +1,45 @@
+// CLI validator for BENCH_*.json artifacts: consumes the file with the same
+// parser (obs::BenchReport::parse_file) the tests use, so the artifact is
+// read exactly as written.  Exits non-zero on a malformed file, an empty
+// result set, or a result whose `deterministic` meta flag is present but not
+// set — the latter turns a silent determinism regression in a bench into a
+// red smoke test.  Used by the bench_json_smoke ctest and by CI.
+
+#include <exception>
+#include <iostream>
+
+#include "obs/bench_report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: bench_json_check <BENCH_file.json>\n";
+    return 2;
+  }
+  try {
+    const coca::obs::BenchReport report =
+        coca::obs::BenchReport::parse_file(argv[1]);
+    if (report.results().empty()) {
+      std::cerr << argv[1] << ": no results\n";
+      return 1;
+    }
+    for (const auto& result : report.results()) {
+      if (result.name.empty()) {
+        std::cerr << argv[1] << ": result with empty name\n";
+        return 1;
+      }
+      const auto flag = result.meta.find("deterministic");
+      if (flag != result.meta.end() && flag->second != 1.0) {
+        std::cerr << argv[1] << ": '" << result.name
+                  << "' reports deterministic=" << flag->second
+                  << " — thread-count determinism regression\n";
+        return 1;
+      }
+    }
+    std::cout << "ok: " << argv[1] << " (suite " << report.suite() << ", "
+              << report.results().size() << " results)\n";
+  } catch (const std::exception& error) {
+    std::cerr << argv[1] << ": " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

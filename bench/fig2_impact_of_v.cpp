@@ -52,6 +52,22 @@ int main() {
               100.0 * unaware.metrics.total_brown_kwh() /
                   scenario.budget.total_allowance()});
   bench::emit(ab);
+  {
+    obs::BenchReport report("fig2_impact_of_v");
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      obs::BenchResult point;
+      point.name = "constant_v_" + std::to_string(i);
+      point.objective = v_results[i].metrics.average_cost();
+      point.meta["V"] = vs[i];
+      point.meta["avg_deficit_kwh"] =
+          v_results[i].metrics.average_deficit(scenario.budget);
+      point.meta["budget_used_pct"] =
+          100.0 * v_results[i].metrics.total_brown_kwh() /
+          scenario.budget.total_allowance();
+      report.add(point);
+    }
+    bench::emit_bench_report(report);
+  }
   std::cout << "\npaper shape: cost falls and saturates at the carbon-unaware "
                "level as V grows;\ndeficit rises from surplus (negative) "
                "toward the unaware deficit.\n";

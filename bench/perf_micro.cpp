@@ -18,6 +18,7 @@
 
 #include "core/deficit_queue.hpp"
 #include "des/job_source.hpp"
+#include "obs/bench_report.hpp"
 #include "opt/gsd.hpp"
 #include "opt/ladder_solver.hpp"
 #include "sim/scenario.hpp"
@@ -215,6 +216,32 @@ void report_sweep_scaling() {
             << std::thread::hardware_concurrency() << " hardware threads)\n"
             << "   metrics bit-identical across thread counts: "
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n\n";
+
+  // Machine-readable artifact (schema coca-bench-v1, consumed by CI and by
+  // ObsBench.PerfMicroReportConsumedAsWritten).  `objective` anchors the
+  // deterministic output; wall_s/slots-per-second are the timing side.
+  obs::BenchReport report("perf_micro");
+  const double slots_total =
+      static_cast<double>(vs.size()) * static_cast<double>(config.hours);
+  auto entry = [&](const char* name, std::size_t n, double wall_s,
+                   const std::vector<double>& metrics) {
+    obs::BenchResult result;
+    result.name = name;
+    result.wall_s = wall_s;
+    result.evals_per_sec = wall_s > 0.0 ? slots_total / wall_s : 0.0;
+    result.objective = metrics.empty() ? 0.0 : metrics.front();
+    result.meta["threads"] = static_cast<double>(n);
+    result.meta["points"] = static_cast<double>(vs.size());
+    result.meta["slots_per_point"] = static_cast<double>(config.hours);
+    result.meta["deterministic"] = identical ? 1.0 : 0.0;
+    return result;
+  };
+  report.add(entry("sweep_scaling_serial", 1, serial_s, serial_metrics));
+  obs::BenchResult scaled =
+      entry("sweep_scaling_parallel", threads, parallel_s, parallel_metrics);
+  scaled.meta["speedup"] = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  report.add(scaled);
+  std::cout << "bench json: " << report.write() << "\n\n";
 }
 
 }  // namespace

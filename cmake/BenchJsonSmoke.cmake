@@ -1,0 +1,24 @@
+# Smoke driver for the BENCH_*.json pipeline (run via ctest, see
+# bench/CMakeLists.txt): execute perf_micro with the google-benchmark table
+# filtered out (the sweep-scaling report and its JSON artifact still run),
+# directing the artifact into OUT_DIR, then validate it with bench_json_check
+# — the consumer uses the same obs::BenchReport parser as CI tooling, so the
+# file is consumed exactly as written.
+#
+# Expected variables: PERF_MICRO, CHECKER, OUT_DIR.
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "COCA_BENCH_JSON_DIR=${OUT_DIR}"
+          "${PERF_MICRO}" --benchmark_filter=__bench_json_smoke_none__
+  RESULT_VARIABLE run_rc
+  OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "perf_micro failed with exit code ${run_rc}")
+endif()
+execute_process(
+  COMMAND "${CHECKER}" "${OUT_DIR}/BENCH_perf_micro.json"
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "BENCH_perf_micro.json failed validation (${check_rc})")
+endif()

@@ -1,5 +1,7 @@
 #include "core/coca_controller.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace coca::core {
 
 CocaController::CocaController(const dc::Fleet& fleet, CocaConfig config)
@@ -14,14 +16,24 @@ opt::SlotSolution CocaController::plan(std::size_t t,
   weights.V = config_.schedule.v_for_slot(t);
   weights.q = queue_.length();
 
+  obs::count("coca.slots_planned");
+
   // Line 5: solve P3.
   if (config_.engine == P3Engine::kGsd) {
     opt::GsdConfig gsd = config_.gsd;
     // Decorrelate the sampler across slots while staying deterministic.
     gsd.seed = config_.gsd.seed + t * 0x9e3779b9ULL;
     const auto result = opt::GsdSolver(gsd).solve(*fleet_, input, weights);
+    last_solve_.solver_evaluations = result.evaluations;
+    last_solve_.solver_accepted = result.accepted;
+    last_solve_.solver_chains = result.chains_run;
+    last_solve_.solver_winning_chain = result.winning_chain;
     return result.best;
   }
+  last_solve_.solver_evaluations = 1;  // one closed-form ladder solve
+  last_solve_.solver_accepted = 0;
+  last_solve_.solver_chains = 0;
+  last_solve_.solver_winning_chain = -1;
   return ladder_.solve(*fleet_, input, weights);
 }
 
@@ -29,9 +41,18 @@ void CocaController::observe(std::size_t t, const opt::SlotOutcome& billed,
                              double offsite_kwh) {
   (void)t;
   // Line 6: Eq. 17 with the realized f(t) — through the typed layer, so the
-  // queue only ever ingests energies.
+  // queue only ever ingests energies.  `rec_per_slot` is the unscaled Z/J;
+  // the queue applies alpha to both offsets.
   queue_.update(billed.brown_energy(), units::KiloWattHours{offsite_kwh},
                 config_.alpha, units::KiloWattHours{config_.rec_per_slot});
+  obs::gauge_set("coca.queue_kwh", queue_.length());
+}
+
+SlotDiagnostics CocaController::diagnostics(std::size_t t) const {
+  SlotDiagnostics d = last_solve_;
+  d.queue_length = queue_.length();
+  d.v = config_.schedule.v_for_slot(t);
+  return d;
 }
 
 }  // namespace coca::core

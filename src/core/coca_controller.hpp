@@ -34,7 +34,9 @@ struct CocaConfig {
   opt::SlotWeights weights;
   VSchedule schedule = VSchedule::constant(1.0);
   double alpha = 1.0;         ///< carbon-capping aggressiveness (Eq. 10)
-  double rec_per_slot = 0.0;  ///< z = alpha * Z / J (Eq. 17)
+  /// z = Z / J, the pre-purchased REC block's per-slot share in *unscaled*
+  /// kWh (Eq. 17's queue update applies alpha; see core/deficit_queue.hpp).
+  double rec_per_slot = 0.0;
   P3Engine engine = P3Engine::kLadder;
   opt::LadderConfig ladder;
   opt::GsdConfig gsd;
@@ -51,6 +53,7 @@ class CocaController final : public SlotController {
 
   double queue_length() const { return queue_.length(); }
   double diagnostic_queue_length() const override { return queue_.length(); }
+  SlotDiagnostics diagnostics(std::size_t t) const override;
 
   /// Hot-swap the managed fleet mid-run (failure / repair events): the
   /// carbon-deficit queue and the V schedule carry over, only capacity
@@ -65,6 +68,8 @@ class CocaController final : public SlotController {
   CocaConfig config_;
   CarbonDeficitQueue queue_;
   opt::LadderSolver ladder_;
+  /// Solver internals of the most recent plan() (for diagnostics()).
+  SlotDiagnostics last_solve_;
 };
 
 }  // namespace coca::core

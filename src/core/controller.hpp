@@ -8,11 +8,25 @@
 // COCA's deficit queue learns without foresight.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "opt/ladder_solver.hpp"
 
 namespace coca::core {
+
+/// Post-slot controller state for observability (sim/simulator threads it
+/// into sim::Metrics and the obs::SlotTraceWriter).  Purely diagnostic:
+/// nothing here feeds back into any decision.
+struct SlotDiagnostics {
+  double queue_length = 0.0;    ///< carbon-deficit queue after the slot
+  double v = 0.0;               ///< cost-carbon parameter used this slot
+  double rec_spend_total = 0.0; ///< cumulative dynamic REC spend so far ($)
+  std::int64_t solver_evaluations = 0;  ///< P3 objective evaluations
+  std::int64_t solver_accepted = 0;     ///< GSD exploration acceptances
+  std::int64_t solver_chains = 0;       ///< GSD chains merged (0: not GSD)
+  std::int64_t solver_winning_chain = -1;
+};
 
 class SlotController {
  public:
@@ -36,6 +50,16 @@ class SlotController {
   /// Diagnostic hook: controllers with a deficit queue report its length so
   /// the simulator can record it; stateless controllers report 0.
   virtual double diagnostic_queue_length() const { return 0.0; }
+
+  /// Full observability snapshot for slot `t` (called after observe()).
+  /// The default covers stateless controllers; controllers with richer
+  /// internals (COCA, dynamic RECs) override it.
+  virtual SlotDiagnostics diagnostics(std::size_t t) const {
+    (void)t;
+    SlotDiagnostics d;
+    d.queue_length = diagnostic_queue_length();
+    return d;
+  }
 };
 
 }  // namespace coca::core

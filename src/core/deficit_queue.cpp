@@ -14,9 +14,11 @@ units::KiloWattHours CarbonDeficitQueue::update(
   if (alpha <= 0.0) {
     throw std::invalid_argument("CarbonDeficitQueue::update: alpha must be > 0");
   }
-  // Eq. 17: q(t+1) = [ q(t) + y(t) - alpha*f(t) - z ]^+ — all kWh.
-  const units::KiloWattHours next =
-      units::positive_part(deficit() + brown - alpha * offsite - rec_per_slot);
+  // Eq. 17: q(t+1) = [ q(t) + y(t) - alpha*(f(t) + z(t)) ]^+ — all kWh.
+  // alpha multiplies *both* offsets here and nowhere else (the Eq. 10
+  // budget is alpha*(F + Z)); callers pass raw kWh.
+  const units::KiloWattHours next = units::positive_part(
+      deficit() + brown - alpha * (offsite + rec_per_slot));
   q_ = next.value();
   history_.push_back(q_);
   return next;

@@ -1,13 +1,23 @@
 #pragma once
 // The carbon-deficit virtual queue (Eq. 17) — COCA's central device.
 //
-//   q(t+1) = [ q(t) + y(t) - alpha*f(t) - z ]^+ ,   z = alpha * Z / J,
+//   q(t+1) = [ q(t) + y(t) - alpha * ( f(t) + z(t) ) ]^+ ,
 //
-// where y(t) is the slot's brown energy.  The queue length measures how far
-// cumulative electricity usage has deviated from the carbon-neutrality
-// allowance; COCA feeds it back as the weight on energy in P3 ("if violate
-// neutrality, then use less electricity").  Algorithm 1 resets the queue at
-// the start of every frame so the cost-carbon parameter V can be re-tuned.
+// where y(t) is the slot's brown energy, f(t) the realized off-site
+// renewables, and z(t) the slot's REC energy (the pre-purchased block's
+// per-slot share Z/J plus any dynamically procured RECs), all in *unscaled
+// kWh*.  The queue applies the capping parameter alpha of Eq. 10's budget
+// alpha*(sum_t f(t) + Z) itself — the single place in the tree where alpha
+// touches an offset, so every offsetting kWh (off-site or REC) is worth
+// exactly alpha kWh of queue drop, by construction.  Callers must never
+// pre-scale (the historical alpha*Z/J convention is gone; see
+// tests/core_rec_policy_test.cpp RecConventionEndToEnd for the pin).
+//
+// The queue length measures how far cumulative electricity usage has
+// deviated from the carbon-neutrality allowance; COCA feeds it back as the
+// weight on energy in P3 ("if violate neutrality, then use less
+// electricity").  Algorithm 1 resets the queue at the start of every frame
+// so the cost-carbon parameter V can be re-tuned.
 
 #include <cstddef>
 #include <vector>
@@ -24,10 +34,11 @@ class CarbonDeficitQueue {
   /// Queue length as the energy deficit it measures (kWh).
   units::KiloWattHours deficit() const { return units::KiloWattHours{q_}; }
 
-  /// Apply Eq. 17 for one slot.  `brown` = y(t), `offsite` = f(t), `alpha`
-  /// and `rec_per_slot` (= z) come from the carbon budget.  Every term of
-  /// Eq. 17 is energy — the typed signature makes a power-for-energy mixup
-  /// (kW where kWh belongs) a compile error.  Returns the new queue length.
+  /// Apply Eq. 17 for one slot.  `brown` = y(t), `offsite` = f(t),
+  /// `rec_per_slot` = z(t) — both offsets in unscaled kWh; this update
+  /// multiplies the *sum* of them by `alpha`.  Every term of Eq. 17 is
+  /// energy — the typed signature makes a power-for-energy mixup (kW where
+  /// kWh belongs) a compile error.  Returns the new queue length.
   units::KiloWattHours update(units::KiloWattHours brown,
                               units::KiloWattHours offsite, double alpha,
                               units::KiloWattHours rec_per_slot);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace coca::core {
 
 DynamicRecCocaController::DynamicRecCocaController(const dc::Fleet& fleet,
@@ -60,6 +62,8 @@ void DynamicRecCocaController::observe(std::size_t t,
   const double bought = purchase_decision(t, queue_.length());
   purchases_.push_back(bought);
   if (bought > 0.0) {
+    obs::count("rec.purchases");
+    obs::observe("rec.purchase_kwh", bought);
     ledger_.purchase(bought);
     // Retired immediately against the deficit; clamped so accumulated
     // floating-point drift in the ledger can never throw mid-year.
@@ -68,9 +72,21 @@ void DynamicRecCocaController::observe(std::size_t t,
     const units::Usd cost = units::KiloWattHours{bought} *
                             units::UsdPerKwh{market_.spot_price[t]};
     spend_ += cost.value();
-    queue_.update(units::KiloWattHours{}, units::KiloWattHours{bought},
-                  config_.alpha, units::KiloWattHours{});
+    // Purchases flow through Eq. 17's REC channel z(t) — unscaled kWh, the
+    // queue applies alpha — so b kWh bought drops q by exactly alpha*b
+    // (pinned by RecConventionEndToEnd in core_rec_policy_test).
+    queue_.update(units::KiloWattHours{}, units::KiloWattHours{},
+                  config_.alpha, units::KiloWattHours{bought});
   }
+}
+
+SlotDiagnostics DynamicRecCocaController::diagnostics(std::size_t t) const {
+  SlotDiagnostics d;
+  d.queue_length = queue_.length();
+  d.v = config_.schedule.v_for_slot(t);
+  d.rec_spend_total = spend_;
+  d.solver_evaluations = 1;  // one ladder solve per slot
+  return d;
 }
 
 }  // namespace coca::core

@@ -44,6 +44,7 @@ class DynamicRecCocaController final : public SlotController {
   void observe(std::size_t t, const opt::SlotOutcome& billed,
                double offsite_kwh) override;
   double diagnostic_queue_length() const override { return queue_.length(); }
+  SlotDiagnostics diagnostics(std::size_t t) const override;
 
   /// Purchase decision of the threshold policy for the given state; exposed
   /// for tests.  Returns the kWh to buy this slot.

@@ -19,11 +19,14 @@ double CarbonBudget::total_allowance() const {
 }
 
 double CarbonBudget::rec_per_slot() const {
-  return alpha_ * recs_kwh_ / static_cast<double>(offsite_.size());
+  // Unscaled: z = Z / J.  Alpha is applied where the budget is consumed
+  // (slot_allowance below, CarbonDeficitQueue::update) — never here, so the
+  // REC block and the off-site trace share one convention.
+  return recs_kwh_ / static_cast<double>(offsite_.size());
 }
 
 double CarbonBudget::slot_allowance(std::size_t t) const {
-  return alpha_ * offsite_[t] + rec_per_slot();
+  return alpha_ * (offsite_[t] + rec_per_slot());
 }
 
 std::vector<double> CarbonBudget::deficit_series(

@@ -30,9 +30,10 @@ class CarbonBudget {
 
   /// Total annual allowance: alpha * (sum_t f(t) + Z).
   double total_allowance() const;
-  /// Per-slot REC share z = alpha * Z / J used by the deficit queue (Eq. 17).
+  /// Per-slot REC share z = Z / J (unscaled kWh) fed to the deficit queue,
+  /// which applies alpha itself (Eq. 17: q + y - alpha*(f + z)).
   double rec_per_slot() const;
-  /// Slot allowance alpha * f(t) + z.
+  /// Slot allowance alpha * (f(t) + z).
   double slot_allowance(std::size_t t) const;
 
   // Typed layer (util/units.hpp): every allowance term of Eq. 10 / Eq. 17 is
@@ -41,6 +42,7 @@ class CarbonBudget {
   units::KiloWattHours allowance_total() const {
     return units::KiloWattHours{total_allowance()};
   }
+  /// Typed view of the unscaled per-slot REC share z = Z / J.
   units::KiloWattHours rec_allowance_per_slot() const {
     return units::KiloWattHours{rec_per_slot()};
   }

@@ -1,0 +1,98 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace coca::obs {
+
+std::string BenchReport::to_json() const {
+  // Plain appends throughout (no `const char* + std::string` temporaries):
+  // keeps GCC 12's -Wrestrict false positive (PR105329) out of a tree that
+  // builds with -Werror in CI.
+  std::string out = "{\n  \"schema\": \"";
+  out += kBenchSchema;
+  out += "\",\n  \"suite\": \"";
+  out += json_escape(suite_);
+  out += "\",\n  \"results\": [";
+  bool first_result = true;
+  for (const auto& result : results_) {
+    out += first_result ? "\n" : ",\n";
+    first_result = false;
+    out += "    {\"name\": \"";
+    out += json_escape(result.name);
+    out += "\", \"wall_s\": ";
+    out += json_number(result.wall_s);
+    out += ", \"evals_per_sec\": ";
+    out += json_number(result.evals_per_sec);
+    out += ", \"objective\": ";
+    out += json_number(result.objective);
+    out += ", \"meta\": {";
+    bool first_meta = true;
+    for (const auto& [key, value] : result.meta) {
+      if (!first_meta) out += ", ";
+      first_meta = false;
+      out += '"';
+      out += json_escape(key);
+      out += "\": ";
+      out += json_number(value);
+    }
+    out += "}}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string BenchReport::default_path() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("COCA_BENCH_JSON_DIR")) {
+    if (env[0] != '\0') dir = env;
+  }
+  return dir + "/BENCH_" + suite_ + ".json";
+}
+
+std::string BenchReport::write(const std::string& path) const {
+  const std::string target = path.empty() ? default_path() : path;
+  std::ofstream out(target);
+  if (!out) {
+    throw std::runtime_error("BenchReport: cannot open " + target);
+  }
+  out << to_json();
+  return target;
+}
+
+BenchReport BenchReport::parse(const std::string& json) {
+  const JsonValue document = parse_json(json);
+  if (document.at("schema").as_string() != kBenchSchema) {
+    throw std::runtime_error("BenchReport: unknown schema '" +
+                             document.at("schema").as_string() + "'");
+  }
+  BenchReport report(document.at("suite").as_string());
+  for (const auto& entry : document.at("results").as_array()) {
+    BenchResult result;
+    result.name = entry.at("name").as_string();
+    result.wall_s = entry.at("wall_s").as_double();
+    result.evals_per_sec = entry.at("evals_per_sec").as_double();
+    result.objective = entry.at("objective").as_double();
+    for (const auto& [key, value] : entry.at("meta").as_object()) {
+      result.meta.emplace(key, value.as_double());
+    }
+    report.add(std::move(result));
+  }
+  return report;
+}
+
+BenchReport BenchReport::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("BenchReport: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace coca::obs

@@ -1,0 +1,70 @@
+#pragma once
+// Machine-readable benchmark output: the BENCH_*.json files that seed the
+// repo's performance trajectory.
+//
+// Schema ("coca-bench-v1"):
+//   {
+//     "schema": "coca-bench-v1",
+//     "suite": "perf_micro",
+//     "results": [
+//       { "name": "sweep_scaling_8_threads",
+//         "wall_s": 1.23,            // wall-clock seconds (0 when n/a)
+//         "evals_per_sec": 4.5e4,    // throughput (0 when n/a)
+//         "objective": 1.0e6,        // solution quality anchor (0 when n/a)
+//         "meta": { "threads": 8, ... }  // free-form numeric details
+//       }, ...
+//     ]
+//   }
+//
+// `wall_s` and `evals_per_sec` are timing (vary run to run); `objective` and
+// `meta` entries are deterministic anchors CI can diff exactly.  Files are
+// named BENCH_<suite>.json and written to COCA_BENCH_JSON_DIR (default: the
+// working directory).  The parser consumes exactly what the writer emits, so
+// tests and CI tooling read the file as written (EXPERIMENTS.md documents
+// the CI side).
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace coca::obs {
+
+inline constexpr const char* kBenchSchema = "coca-bench-v1";
+
+struct BenchResult {
+  std::string name;
+  double wall_s = 0.0;
+  double evals_per_sec = 0.0;
+  double objective = 0.0;
+  std::map<std::string, double> meta;
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string suite) : suite_(std::move(suite)) {}
+
+  const std::string& suite() const { return suite_; }
+  void add(BenchResult result) { results_.push_back(std::move(result)); }
+  const std::vector<BenchResult>& results() const { return results_; }
+
+  /// Full document, deterministic key order and number formatting.
+  std::string to_json() const;
+
+  /// "BENCH_<suite>.json" under COCA_BENCH_JSON_DIR (or the cwd).
+  std::string default_path() const;
+
+  /// Write to `path` (empty = default_path()); returns the path written.
+  /// Throws std::runtime_error when the file cannot be opened.
+  std::string write(const std::string& path = {}) const;
+
+  /// Inverse of to_json(); throws std::runtime_error on malformed input or
+  /// a schema mismatch.
+  static BenchReport parse(const std::string& json);
+  static BenchReport parse_file(const std::string& path);
+
+ private:
+  std::string suite_;
+  std::vector<BenchResult> results_;
+};
+
+}  // namespace coca::obs

@@ -1,0 +1,26 @@
+#pragma once
+// The *only* sanctioned wall-clock boundary in src/.
+//
+// Every simulation, sweep and solver result in this repo is bit-identical
+// across thread counts, and tools/lint_determinism.py statically bans clock
+// reads in src/ to keep it that way.  Observability is the one legitimate
+// consumer of time: timers measure how long deterministic work took, and
+// their readings are excluded from all golden comparisons (the slot-trace
+// golden test masks timing fields before diffing).  Routing each clock read
+// through this header keeps the waiver surface a single line.
+
+#include <chrono>
+#include <cstdint>
+
+namespace coca::obs {
+
+/// Monotonic nanoseconds since an unspecified epoch.  Never feeds back into
+/// any decision, only into timers/trace timing fields.
+inline std::int64_t now_ns() {
+  const auto tick = std::chrono::steady_clock::now();  // NOLINT-DETERMINISM(observability timer boundary; readings never influence results)
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tick.time_since_epoch())
+      .count();
+}
+
+}  // namespace coca::obs

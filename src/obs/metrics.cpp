@@ -1,0 +1,121 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace coca::obs {
+
+void Histogram::record(double v) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (data_.count == 0) {
+    data_.min = v;
+    data_.max = v;
+  } else {
+    data_.min = std::min(data_.min, v);
+    data_.max = std::max(data_.max, v);
+  }
+  ++data_.count;
+  data_.sum += v;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::int64_t Registry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+std::string Registry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Plain appends (no `char + std::string` temporaries) — avoids GCC 12's
+  // -Wrestrict false positive (PR105329) under the tree's -Werror CI builds.
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":";
+    out += json_number(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":{\"value\":";
+    out += json_number(gauge->value());
+    out += ",\"max\":";
+    out += json_number(gauge->max());
+    out += '}';
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    const HistogramSnapshot snap = histogram->snapshot();
+    out += '"';
+    out += json_escape(name);
+    out += "\":{\"count\":";
+    out += json_number(snap.count);
+    out += ",\"sum\":";
+    out += json_number(snap.sum);
+    out += ",\"min\":";
+    out += json_number(snap.min);
+    out += ",\"max\":";
+    out += json_number(snap.max);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+std::atomic<Registry*> g_registry{nullptr};
+}  // namespace
+
+Registry* global() { return g_registry.load(std::memory_order_acquire); }
+
+void set_global(Registry* registry) {
+  g_registry.store(registry, std::memory_order_release);
+}
+
+}  // namespace coca::obs

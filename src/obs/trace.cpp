@@ -1,0 +1,89 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace coca::obs {
+
+std::string to_json_line(const SlotTrace& slot) {
+  // Fixed key order = the schema; golden tests compare lines byte-for-byte.
+  // Plain appends only (no `const char* + std::string` temporaries), which
+  // keeps GCC 12's -Wrestrict false positive (PR105329) out of -Werror CI.
+  std::string out;
+  out.reserve(320);
+  const auto field = [&out](const char* key, const std::string& value) {
+    out += key;
+    out += value;
+  };
+  field("{\"t\":", json_number(static_cast<std::int64_t>(slot.t)));
+  field(",\"lambda\":", json_number(slot.lambda));
+  field(",\"price\":", json_number(slot.price));
+  field(",\"onsite_kw\":", json_number(slot.onsite_kw));
+  field(",\"offsite_kwh\":", json_number(slot.offsite_kwh));
+  field(",\"q\":", json_number(slot.q));
+  field(",\"V\":", json_number(slot.v));
+  field(",\"active_servers\":", json_number(slot.active_servers));
+  field(",\"mean_speed_level\":", json_number(slot.mean_speed_level));
+  out += ",\"feasible\":";
+  out += slot.feasible ? "true" : "false";
+  field(",\"brown_kwh\":", json_number(slot.brown_kwh));
+  field(",\"electricity_cost\":", json_number(slot.electricity_cost));
+  field(",\"delay_cost\":", json_number(slot.delay_cost));
+  field(",\"rec_cost\":", json_number(slot.rec_cost));
+  field(",\"total_cost\":", json_number(slot.total_cost));
+  field(",\"evaluations\":", json_number(slot.evaluations));
+  field(",\"acceptance_rate\":", json_number(slot.acceptance_rate));
+  field(",\"chains\":", json_number(slot.chains));
+  field(",\"winning_chain\":", json_number(slot.winning_chain));
+  field(",\"solve_ms\":", json_number(slot.solve_ms));
+  out += '}';
+  return out;
+}
+
+void SlotTraceWriter::write_jsonl(std::ostream& out) const {
+  for (const auto& slot : slots_) out << to_json_line(slot) << '\n';
+}
+
+std::string SlotTraceWriter::to_jsonl() const {
+  std::ostringstream out;
+  write_jsonl(out);
+  return out.str();
+}
+
+void SlotTraceWriter::write_jsonl_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("SlotTraceWriter: cannot open " + path);
+  }
+  write_jsonl(out);
+}
+
+std::string mask_timing_fields(const std::string& jsonl) {
+  static constexpr std::string_view kKey = "\"solve_ms\":";
+  std::string out;
+  out.reserve(jsonl.size());
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    const std::size_t hit = jsonl.find(kKey, pos);
+    if (hit == std::string::npos) {
+      out.append(jsonl, pos, std::string::npos);
+      break;
+    }
+    const std::size_t value_start = hit + kKey.size();
+    std::size_t value_end = value_start;
+    while (value_end < jsonl.size() && jsonl[value_end] != ',' &&
+           jsonl[value_end] != '}' && jsonl[value_end] != '\n') {
+      ++value_end;
+    }
+    out.append(jsonl, pos, value_start - pos);
+    out += '0';
+    pos = value_end;
+  }
+  return out;
+}
+
+}  // namespace coca::obs

@@ -1,0 +1,87 @@
+#pragma once
+// Structured per-slot trace of a simulation run, written as JSONL (one JSON
+// object per slot, in slot order).
+//
+// The record carries everything needed to audit a controller decision after
+// the fact: the slot's environment (lambda, price w, on-site r, off-site f),
+// the Lyapunov state (q before the solve, V), a summary of the chosen speed
+// vector, the realized cost breakdown (electricity / delay / REC spend),
+// solver internals (GSD evaluations, acceptance rate, winning chain) and the
+// solve wall time.
+//
+// Determinism contract: records are appended by the (serial) simulator loop
+// and rendered in slot order, and every field except `solve_ms` is a pure
+// function of the inputs — so two traces of the same run at different thread
+// counts are byte-identical once timing fields are masked (enforced by
+// tests/obs_trace_golden_test.cpp).  Schema documented in README
+// "Observability"; bump `kSlotTraceSchema` when fields change.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coca::obs {
+
+inline constexpr const char* kSlotTraceSchema = "coca-slot-trace-v1";
+
+struct SlotTrace {
+  std::size_t t = 0;
+  // Environment (the paper's lambda(t), w(t), r(t), f(t)).
+  double lambda = 0.0;
+  double price = 0.0;
+  double onsite_kw = 0.0;
+  double offsite_kwh = 0.0;
+  // Lyapunov state at plan time.
+  double q = 0.0;
+  double v = 0.0;
+  // Chosen speed vector summary.
+  double active_servers = 0.0;
+  double mean_speed_level = 0.0;  ///< active-weighted mean level index
+  bool feasible = true;
+  // Realized cost breakdown.
+  double brown_kwh = 0.0;
+  double electricity_cost = 0.0;
+  double delay_cost = 0.0;
+  double rec_cost = 0.0;  ///< dynamic REC spend billed this slot ($)
+  double total_cost = 0.0;
+  // Solver internals (zeros for solvers that do not report them).
+  std::int64_t evaluations = 0;
+  double acceptance_rate = 0.0;
+  std::int64_t chains = 0;
+  std::int64_t winning_chain = -1;
+  // Timing: the one field excluded from golden comparisons.
+  double solve_ms = 0.0;
+};
+
+/// Render one record as a single JSON line (no trailing newline), with a
+/// fixed key order and std::to_chars number formatting.
+std::string to_json_line(const SlotTrace& slot);
+
+/// Collects slot records and writes them as JSONL.  Single-producer: the
+/// simulator appends in slot order; parallel sweeps give each point its own
+/// writer.
+class SlotTraceWriter {
+ public:
+  void record(const SlotTrace& slot) { slots_.push_back(slot); }
+  const std::vector<SlotTrace>& slots() const { return slots_; }
+  std::size_t size() const { return slots_.size(); }
+  void clear() { slots_.clear(); }
+
+  /// One JSON object per line, in recorded (slot) order.
+  void write_jsonl(std::ostream& out) const;
+  /// Entire trace as a string (tests, golden comparisons).
+  std::string to_jsonl() const;
+  /// Write to a file; throws std::runtime_error when the file cannot open.
+  void write_jsonl_file(const std::string& path) const;
+
+ private:
+  std::vector<SlotTrace> slots_;
+};
+
+/// Strip the timing fields from a JSONL trace so golden tests can compare
+/// the deterministic remainder byte-for-byte.
+std::string mask_timing_fields(const std::string& jsonl);
+
+}  // namespace coca::obs

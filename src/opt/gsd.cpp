@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace coca::opt {
@@ -39,7 +40,12 @@ GsdResult GsdSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
                            std::optional<dc::Allocation> initial) const {
   const int chains = std::max(1, config_.chains);
   if (chains == 1) {
-    return solve_chain(fleet, input, weights, initial, config_.seed);
+    GsdResult result =
+        solve_chain(fleet, input, weights, initial, config_.seed);
+    obs::count("gsd.solves");
+    obs::count("gsd.evaluations", result.evaluations);
+    obs::count("gsd.accepted", result.accepted);
+    return result;
   }
 
   // Chain c draws from the deterministically derived stream seed ^ c, so
@@ -77,6 +83,9 @@ GsdResult GsdSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
   }
   merged.chains_run = chains;
   merged.winning_chain = static_cast<int>(winner);
+  obs::count("gsd.solves");
+  obs::count("gsd.evaluations", merged.evaluations);
+  obs::count("gsd.accepted", merged.accepted);
   return merged;
 }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/solvers.hpp"
 
 namespace coca::opt {
@@ -265,6 +266,7 @@ SlotSolution LadderSolver::solve_linear(const dc::Fleet& fleet,
 
 SlotSolution LadderSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
                                  const SlotWeights& weights) const {
+  obs::count("ladder.solves");
   SlotSolution solution;
   if (input.lambda <= kTiny) {
     solution.alloc = all_off(fleet);

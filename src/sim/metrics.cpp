@@ -6,7 +6,19 @@ namespace coca::sim {
 
 double Metrics::total_cost() const {
   double sum = 0.0;
+  for (const auto& s : slots_) sum += s.total_cost + s.rec_cost;
+  return sum;
+}
+
+double Metrics::total_ops_cost() const {
+  double sum = 0.0;
   for (const auto& s : slots_) sum += s.total_cost;
+  return sum;
+}
+
+double Metrics::total_rec_cost() const {
+  double sum = 0.0;
+  for (const auto& s : slots_) sum += s.rec_cost;
   return sum;
 }
 

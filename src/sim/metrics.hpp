@@ -18,6 +18,7 @@ struct SlotRecord {
   double electricity_cost = 0.0;  ///< $
   double delay_cost = 0.0;        ///< $
   double total_cost = 0.0;        ///< g(t) = electricity + delay, $
+  double rec_cost = 0.0;          ///< dynamic REC spend billed this slot, $
   double queue_length = 0.0;      ///< carbon-deficit queue after the slot
   double active_servers = 0.0;
   double toggles = 0.0;           ///< on/off transitions this slot
@@ -30,12 +31,19 @@ class Metrics {
   std::size_t slot_count() const { return slots_.size(); }
   const std::vector<SlotRecord>& slots() const { return slots_; }
 
+  /// All dollars billed during the run: ops (electricity + delay) plus any
+  /// dynamic REC spend.  Controllers without a REC market are unaffected
+  /// (their rec_cost is identically 0).
   double total_cost() const;
+  /// Ops-only dollars (electricity + delay), the paper's sum of g(t).
+  double total_ops_cost() const;
   double total_brown_kwh() const;
   double total_electricity_cost() const;
   double total_delay_cost() const;
+  /// Dynamic REC procurement spend billed by the simulator ($).
+  double total_rec_cost() const;
   double total_switching_kwh() const;
-  /// Average hourly cost (the paper's g-bar).
+  /// Average hourly cost (the paper's g-bar plus any REC spend).
   double average_cost() const;
   /// Average hourly brown energy.
   double average_brown_kwh() const;

@@ -59,7 +59,7 @@ struct Scenario {
   double unaware_cost;             ///< unaware annual cost w/ onsite
   ScenarioConfig config;
 
-  /// z = alpha * Z / J for COCA's queue update.
+  /// z = Z / J (unscaled kWh) for COCA's queue update, which applies alpha.
   double rec_per_slot() const { return budget.rec_per_slot(); }
 };
 

@@ -2,9 +2,27 @@
 
 #include <cmath>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
 #include "opt/load_balancer.hpp"
 
 namespace coca::sim {
+
+namespace {
+
+/// Active-weighted mean speed-level index of an allocation (the "chosen
+/// speed vector summary" of the slot trace).
+double mean_speed_level(const dc::Allocation& alloc) {
+  double servers = 0.0;
+  double weighted = 0.0;
+  for (const auto& a : alloc) {
+    servers += a.active;
+    weighted += a.active * static_cast<double>(a.level);
+  }
+  return servers > 0.0 ? weighted / servers : 0.0;
+}
+
+}  // namespace
 
 SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
                          core::SlotController& controller,
@@ -17,11 +35,19 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
   billing.V = 1.0;
   billing.q = 0.0;
 
+  obs::count("sim.runs");
+  double rec_spend_before = 0.0;
+
   dc::Allocation previous(fleet.group_count());
   for (std::size_t t = 0; t < env.slots(); ++t) {
     const opt::SlotInput planned_input{env.planning[t], env.onsite_kw[t],
                                        env.price[t]};
+    // Clock reads happen only when a trace asks for them (obs boundary);
+    // the readings never influence the run.
+    const std::int64_t solve_start_ns = options.trace ? obs::now_ns() : 0;
     opt::SlotSolution plan = controller.plan(t, planned_input);
+    const std::int64_t solve_ns =
+        options.trace ? obs::now_ns() - solve_start_ns : 0;
 
     const opt::SlotInput actual_input{env.workload[t], env.onsite_kw[t],
                                       env.price[t]};
@@ -65,6 +91,13 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
 
     controller.observe(t, billed, env.offsite_kwh[t]);
 
+    // Post-slot controller state: queue, V, solver internals, and the
+    // cumulative dynamic REC spend — billed here so controller-side
+    // purchases reach the run's cost metrics (they are real dollars).
+    const core::SlotDiagnostics diag = controller.diagnostics(t);
+    const double rec_cost = diag.rec_spend_total - rec_spend_before;
+    rec_spend_before = diag.rec_spend_total;
+
     SlotRecord record;
     record.lambda = env.workload[t];
     record.it_power_kw = billed.it_power_kw;
@@ -73,14 +106,45 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
     record.electricity_cost = billed.electricity_cost;
     record.delay_cost = billed.delay_cost;
     record.total_cost = billed.total_cost;
-    record.queue_length = controller.diagnostic_queue_length();
+    record.rec_cost = rec_cost;
+    record.queue_length = diag.queue_length;
     record.active_servers = dc::total_active_servers(executed);
     record.toggles = toggles;
     record.switching_kwh = switch_kwh;
     result.metrics.record(record);
 
+    if (options.trace != nullptr) {
+      obs::SlotTrace slot;
+      slot.t = t;
+      slot.lambda = env.workload[t];
+      slot.price = env.price[t];
+      slot.onsite_kw = env.onsite_kw[t];
+      slot.offsite_kwh = env.offsite_kwh[t];
+      slot.q = diag.queue_length;
+      slot.v = diag.v;
+      slot.active_servers = record.active_servers;
+      slot.mean_speed_level = mean_speed_level(executed);
+      slot.feasible = billed.feasible;
+      slot.brown_kwh = billed.brown_kwh;
+      slot.electricity_cost = billed.electricity_cost;
+      slot.delay_cost = billed.delay_cost;
+      slot.rec_cost = rec_cost;
+      slot.total_cost = billed.total_cost + rec_cost;
+      slot.evaluations = diag.solver_evaluations;
+      slot.acceptance_rate =
+          diag.solver_evaluations > 0
+              ? static_cast<double>(diag.solver_accepted) /
+                    static_cast<double>(diag.solver_evaluations)
+              : 0.0;
+      slot.chains = diag.solver_chains;
+      slot.winning_chain = diag.solver_winning_chain;
+      slot.solve_ms = static_cast<double>(solve_ns) / 1e6;
+      options.trace->record(slot);
+    }
+
     previous = std::move(executed);
   }
+  obs::count("sim.slots", static_cast<std::int64_t>(env.slots()));
   return result;
 }
 

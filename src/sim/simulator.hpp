@@ -6,6 +6,7 @@
 
 #include "core/controller.hpp"
 #include "dc/switching.hpp"
+#include "obs/trace.hpp"
 #include "sim/environment.hpp"
 #include "sim/metrics.hpp"
 
@@ -17,6 +18,10 @@ struct SimOptions {
   /// (what a real runtime load balancer does).  When false the planned
   /// loads are billed as-is (only valid when planning == actual workload).
   bool rebalance_actual = true;
+  /// Optional per-slot JSONL trace sink (see obs/trace.hpp).  One record is
+  /// appended per slot, in slot order; every field except solve_ms is
+  /// deterministic.  Parallel sweeps give each point its own writer.
+  obs::SlotTraceWriter* trace = nullptr;
 };
 
 struct SimResult {

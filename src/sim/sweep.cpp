@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace coca::sim {
 
 std::size_t threads_from_env() {
@@ -15,6 +17,8 @@ std::size_t threads_from_env() {
 }
 
 SweepRunner::SweepRunner(SweepOptions options)
-    : pool_(options.threads != 0 ? options.threads : threads_from_env()) {}
+    : pool_(options.threads != 0 ? options.threads : threads_from_env()) {
+  obs::gauge_set("sweep.threads", static_cast<double>(pool_.thread_count()));
+}
 
 }  // namespace coca::sim

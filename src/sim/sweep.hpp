@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace coca::sim {
@@ -44,6 +45,7 @@ class SweepRunner {
   auto map(std::size_t n, Fn&& fn)
       -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
     using R = std::invoke_result_t<Fn&, std::size_t>;
+    obs::count("sweep.points", static_cast<std::int64_t>(n));
     std::vector<R> results(n);
     pool_.parallel_for(n, [&](std::size_t i) { results[i] = fn(i); });
     return results;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace coca::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -24,11 +26,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::post(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    depth = queue_.size();
   }
+  // Pool health metrics (no-ops without a registry): submission rate and
+  // the deepest backlog seen — the utilization signals the ROADMAP's
+  // batching/sharding work needs.
+  obs::count("pool.tasks_submitted");
+  obs::gauge_set("pool.queue_depth", static_cast<double>(depth));
   task_ready_.notify_one();
 }
 
@@ -51,6 +60,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     task();  // packaged_task captures exceptions into the future
+    obs::count("pool.tasks_executed");
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

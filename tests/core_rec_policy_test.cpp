@@ -8,6 +8,8 @@
 
 #include <vector>
 
+#include "core/deficit_queue.hpp"
+#include "energy/budget.hpp"
 #include "sim/scenario.hpp"
 
 namespace coca::core {
@@ -147,6 +149,55 @@ TEST(RecPolicy, PurchasesDrainTheQueue) {
   }
   // A near-free REC market keeps the deficit queue (weakly) shorter.
   EXPECT_LE(with_market.queue_length(), without_market.queue_length() + 1e-9);
+}
+
+TEST(RecPolicy, RecConventionEndToEnd) {
+  // Regression for the alpha-scaling drift between Eq. (10) and Eq. (17).
+  // The pinned convention: every REC quantity — the up-front block z = Z/J
+  // and each dynamic purchase b — enters the deficit queue as *unscaled*
+  // kWh, and alpha multiplies the offsets exactly once, inside
+  // CarbonDeficitQueue::update.  Exercised here with alpha = 0.5 so a
+  // mis-scaling (alpha applied twice, or never) shifts every number below.
+  const double alpha = 0.5;
+
+  // (1) Budget side of Eq. (10): rec_per_slot() is raw Z/J; alpha appears
+  //     only in the allowance alpha * (f + z).
+  const Trace offsite("f", {4.0, 4.0});
+  const energy::CarbonBudget budget(offsite, 12.0, alpha);
+  EXPECT_DOUBLE_EQ(budget.rec_per_slot(), 6.0);
+  EXPECT_DOUBLE_EQ(budget.slot_allowance(0), alpha * (4.0 + 6.0));
+
+  // (2) Queue side of Eq. (17): both offsets scaled by alpha, uniformly.
+  //     q1 = [0 + 8 - 0.5 * (4 + 6)]^+ = 3.
+  CarbonDeficitQueue queue;
+  queue.update(units::KiloWattHours{8.0}, units::KiloWattHours{4.0}, alpha,
+               units::KiloWattHours{6.0});
+  EXPECT_DOUBLE_EQ(queue.length(), 8.0 - alpha * (4.0 + 6.0));
+
+  // (3) Dynamic purchases ride the same channel: b kWh bought drops q by
+  //     exactly alpha * b, and the policy never buys more than q / alpha.
+  const auto s = small_scenario(50);
+  CocaConfig config = base_config(s, 1.0, 0.0);
+  config.alpha = alpha;
+  opt::SlotOutcome brown_only;
+  brown_only.brown_kwh = 1'000.0;
+  brown_only.feasible = true;
+
+  DynamicRecCocaController capped(s.fleet, config, flat_market(50, 0.01, 100.0));
+  capped.observe(0, brown_only, 0.0);  // q = 1000, then buys the 100 cap
+  EXPECT_DOUBLE_EQ(capped.total_purchased_kwh(), 100.0);
+  EXPECT_DOUBLE_EQ(capped.queue_length(), 1'000.0 - alpha * 100.0);
+
+  DynamicRecCocaController deep(s.fleet, config,
+                                flat_market(50, 0.01, 10'000.0));
+  deep.observe(0, brown_only, 0.0);  // cap q / alpha = 2000 binds
+  EXPECT_DOUBLE_EQ(deep.total_purchased_kwh(), 1'000.0 / alpha);
+  EXPECT_DOUBLE_EQ(deep.queue_length(), 0.0);
+
+  // (4) Threshold in the same scaling: buy iff alpha * q > V * c.
+  //     V = 1, c = 0.01: q = 0.02 sits exactly at threshold -> no purchase.
+  EXPECT_DOUBLE_EQ(capped.purchase_decision(1, 0.02), 0.0);
+  EXPECT_GT(capped.purchase_decision(1, 0.03), 0.0);
 }
 
 TEST(RecPolicy, ConstructionValidation) {

@@ -61,7 +61,12 @@ TEST_F(CarbonBudgetTest, TotalsAndPerSlot) {
 TEST_F(CarbonBudgetTest, AlphaScalesAllowance) {
   CarbonBudget tight(offsite_, 60.0, 0.5);
   EXPECT_DOUBLE_EQ(tight.total_allowance(), 80.0);
-  EXPECT_DOUBLE_EQ(tight.rec_per_slot(), 7.5);
+  // rec_per_slot() is the *unscaled* Z/J; alpha enters only through the
+  // allowance (Eq. 10: y <= alpha (f + z)).  This pins the single-scaling
+  // convention shared with CarbonDeficitQueue::update.
+  EXPECT_DOUBLE_EQ(tight.rec_per_slot(), 15.0);
+  EXPECT_DOUBLE_EQ(tight.slot_allowance(0), 12.5);  // 0.5 * (10 + 15)
+  EXPECT_DOUBLE_EQ(tight.slot_allowance(3), 27.5);  // 0.5 * (40 + 15)
 }
 
 TEST_F(CarbonBudgetTest, DeficitSeries) {

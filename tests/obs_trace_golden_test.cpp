@@ -1,0 +1,118 @@
+// Golden-file tests for the per-slot JSONL trace: the trace of a run must be
+// byte-identical across thread counts once the (only) timing field is
+// masked.  Two parallelism layers are exercised:
+//   1. multi-chain GSD inside a single simulation (GsdConfig::threads);
+//   2. the SweepRunner fan-out, one trace writer per sweep point.
+// This is the observability layer's half of the repo-wide determinism
+// contract (see tests/parallel_determinism_test.cpp for the numeric half).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/coca_controller.hpp"
+#include "obs/trace.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+
+namespace coca::sim {
+namespace {
+
+ScenarioConfig tiny_config(std::size_t hours) {
+  ScenarioConfig config;
+  config.hours = hours;
+  config.fleet.total_servers = 2'000;
+  config.fleet.group_count = 4;
+  config.peak_rate = 10'000.0;
+  return config;
+}
+
+/// Run COCA (GSD engine, `chains` chains on `threads` workers) over the
+/// scenario and return the masked JSONL trace.
+std::string traced_gsd_run(const Scenario& scenario, int chains, int threads) {
+  core::CocaConfig config;
+  config.weights = scenario.weights;
+  config.schedule = core::VSchedule::constant(1e4);
+  config.alpha = scenario.budget.alpha();
+  config.rec_per_slot = scenario.budget.rec_per_slot();
+  config.engine = core::P3Engine::kGsd;
+  config.gsd.iterations = 120;
+  config.gsd.chains = chains;
+  config.gsd.threads = threads;
+  config.gsd.seed = 9;
+  core::CocaController controller(scenario.fleet, config);
+  obs::SlotTraceWriter trace;
+  SimOptions options;
+  options.trace = &trace;
+  run_simulation(scenario.fleet, scenario.env, controller, scenario.weights,
+                 options);
+  return obs::mask_timing_fields(trace.to_jsonl());
+}
+
+TEST(ObsTraceGolden, GsdTraceBitIdenticalAcrossThreadCounts) {
+  const auto scenario = build_scenario(tiny_config(40));
+  const std::string serial = traced_gsd_run(scenario, 4, 1);
+  const std::string parallel = traced_gsd_run(scenario, 4, 4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);  // byte-for-byte, timing masked
+}
+
+TEST(ObsTraceGolden, TraceHasOneOrderedRecordPerSlot) {
+  const auto scenario = build_scenario(tiny_config(25));
+  core::CocaConfig config;
+  config.weights = scenario.weights;
+  config.schedule = core::VSchedule::constant(1e4);
+  config.alpha = scenario.budget.alpha();
+  config.rec_per_slot = scenario.budget.rec_per_slot();
+  core::CocaController controller(scenario.fleet, config);
+  obs::SlotTraceWriter trace;
+  SimOptions options;
+  options.trace = &trace;
+  const auto result = run_simulation(scenario.fleet, scenario.env, controller,
+                                     scenario.weights, options);
+  ASSERT_EQ(trace.size(), 25u);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    EXPECT_EQ(trace.slots()[t].t, t);
+  }
+  // The trace's cost breakdown reconciles with the billed metrics.
+  double traced_total = 0.0;
+  for (const auto& slot : trace.slots()) traced_total += slot.total_cost;
+  EXPECT_NEAR(traced_total, result.metrics.total_cost(),
+              1e-9 * std::abs(traced_total) + 1e-12);
+}
+
+TEST(ObsTraceGolden, SweepTracesBitIdenticalAcrossThreadCounts) {
+  // Each sweep point gets its own writer; the concatenated masked traces
+  // must not depend on how many workers executed the sweep.
+  const auto scenario = build_scenario(tiny_config(20));
+  const std::vector<double> v_values = {1.0, 1e3, 1e6};
+  auto run_sweep = [&](std::size_t threads) {
+    SweepRunner runner({.threads = threads});
+    const auto traces = runner.map(v_values, [&](double v) {
+      core::CocaConfig config;
+      config.weights = scenario.weights;
+      config.schedule = core::VSchedule::constant(v);
+      config.alpha = scenario.budget.alpha();
+      config.rec_per_slot = scenario.budget.rec_per_slot();
+      core::CocaController controller(scenario.fleet, config);
+      obs::SlotTraceWriter trace;
+      SimOptions options;
+      options.trace = &trace;
+      run_simulation(scenario.fleet, scenario.env, controller,
+                     scenario.weights, options);
+      return obs::mask_timing_fields(trace.to_jsonl());
+    });
+    std::string all;
+    for (const auto& t : traces) all += t;
+    return all;
+  };
+  const std::string serial = run_sweep(1);
+  const std::string parallel = run_sweep(4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace coca::sim

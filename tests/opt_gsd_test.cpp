@@ -259,6 +259,69 @@ TEST(GsdMultiChain, EvaluationBudgetScalesWithChains) {
   EXPECT_LT(result.winning_chain, 3);
 }
 
+TEST(GsdAcceptance, ZeroObjectivesGiveHalf) {
+  // lambda(t) = 0 slots produce exactly-zero objectives (all-off carries the
+  // workload for free); the 1e-300 guard must turn 0-vs-0 into a coin flip
+  // rather than a 0/0 NaN.
+  const double u = GsdSolver::acceptance_probability(10.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(u, 0.5);
+  EXPECT_FALSE(std::isnan(GsdSolver::acceptance_probability(10.0, 0.0, 5.0)));
+  EXPECT_FALSE(std::isnan(GsdSolver::acceptance_probability(10.0, 5.0, 0.0)));
+}
+
+TEST(Gsd, ZeroWorkloadSlotIsFeasibleAndFree) {
+  // Boundary audit for lambda(t) = 0: the capacity gate
+  // explored_capacity >= lambda * (1 - 1e-12) admits every vector, including
+  // all-off.  The solve must stay feasible, spend nothing, and never emit a
+  // NaN objective — this is every night-valley slot of a trace-driven year.
+  const auto fleet = small_fleet();
+  GsdConfig config;
+  config.iterations = 400;
+  config.seed = 7;
+  const auto result =
+      GsdSolver(config).solve(fleet, {0.0, 0.0, 0.06}, test_weights());
+  ASSERT_TRUE(result.best.feasible);
+  EXPECT_TRUE(std::isfinite(result.best.outcome.objective));
+  // All-off is optimal: zero facility power, zero brown, zero cost.
+  EXPECT_DOUBLE_EQ(result.best.outcome.objective, 0.0);
+  EXPECT_DOUBLE_EQ(result.best.outcome.total_cost, 0.0);
+  EXPECT_DOUBLE_EQ(result.best.outcome.brown_kwh, 0.0);
+  // And the returned kept state is billed coherently too.
+  EXPECT_TRUE(std::isfinite(result.solution.outcome.objective));
+}
+
+TEST(Gsd, ZeroWorkloadUnderDeficitPressureStaysClean) {
+  // q > 0 multiplies brown energy; with lambda = 0 and no workload the
+  // optimum is still all-off with objective 0 (no brown to penalize).
+  const auto fleet = small_fleet();
+  GsdConfig config;
+  config.iterations = 400;
+  config.seed = 11;
+  const auto result =
+      GsdSolver(config).solve(fleet, {0.0, 0.0, 0.06}, test_weights(500.0));
+  ASSERT_TRUE(result.best.feasible);
+  EXPECT_DOUBLE_EQ(result.best.outcome.objective, 0.0);
+  EXPECT_DOUBLE_EQ(result.best.outcome.brown_kwh, 0.0);
+}
+
+TEST(Gsd, RenewableSurplusSlotHasZeroBrownEnergy) {
+  // r(t) > p for every reachable configuration: brown = [p - r]^+ = 0, so
+  // the q*y term vanishes and the objective reduces to V*g.  The solver
+  // must keep the accounting exact (no negative brown, no NaN).
+  const auto fleet = small_fleet();
+  GsdConfig config;
+  config.iterations = 600;
+  config.seed = 3;
+  const SlotInput surplus{5.0, 1e6, 0.06};  // 1 GW on-site for a 6-server fleet
+  const auto result =
+      GsdSolver(config).solve(fleet, surplus, test_weights(50.0));
+  ASSERT_TRUE(result.best.feasible);
+  EXPECT_DOUBLE_EQ(result.best.outcome.brown_kwh, 0.0);
+  EXPECT_DOUBLE_EQ(result.best.outcome.electricity_cost, 0.0);
+  EXPECT_GE(result.best.outcome.objective, 0.0);
+  EXPECT_TRUE(std::isfinite(result.best.outcome.objective));
+}
+
 TEST(Gsd, HandlesDeficitPressure) {
   // With a large queue, GSD should find lower-energy configurations.
   const auto fleet = small_fleet();

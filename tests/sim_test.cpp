@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "baselines/carbon_unaware.hpp"
+#include "core/rec_policy.hpp"
 #include "sim/scenario.hpp"
 #include "util/moving_average.hpp"
 #include "workload/transforms.hpp"
@@ -147,6 +148,32 @@ TEST(Simulator, QueueSeriesRecordedForCoca) {
   double max_q = 0.0;
   for (double q : queue) max_q = std::max(max_q, q);
   EXPECT_GT(max_q, 0.0);  // the deficit queue was exercised
+}
+
+TEST(Simulator, DynamicRecSpendBilledIntoTotalCost) {
+  // Regression: DynamicRecCocaController::spend_ used to be invisible to
+  // sim::run_simulation — dynamic REC purchases were free as far as the
+  // reported totals were concerned.  The simulator now bills each slot's
+  // purchase into SlotRecord::rec_cost via controller diagnostics.
+  const auto scenario = build_scenario(small_config(200));
+  core::CocaConfig config;
+  config.weights = scenario.weights;
+  config.schedule = core::VSchedule::constant(100.0);
+  config.alpha = scenario.budget.alpha();
+  config.rec_per_slot = 0.0;  // fully dynamic procurement
+  const double price = 0.006;
+  core::RecMarketConfig market{
+      coca::workload::Trace("rec", std::vector<double>(200, price)), 0.0,
+      2'000.0};
+  core::DynamicRecCocaController controller(scenario.fleet, config, market);
+  const auto result = run_simulation(scenario.fleet, scenario.env, controller,
+                                     scenario.weights);
+  ASSERT_GT(controller.total_spend(), 0.0);  // the market was used
+  EXPECT_NEAR(result.metrics.total_rec_cost(), controller.total_spend(),
+              1e-9 * controller.total_spend() + 1e-12);
+  EXPECT_NEAR(result.metrics.total_cost(),
+              result.metrics.total_ops_cost() + controller.total_spend(),
+              1e-9 * result.metrics.total_cost());
 }
 
 TEST(Simulator, RunningAverageSeriesSmoothens) {
