@@ -136,6 +136,33 @@ int main() {
                        static_cast<double>(point.dropped)});
   }
   bench::emit(cap_table);
+  {
+    obs::BenchReport report("abl_extensions");
+    for (std::size_t i = 0; i < tariff_cases.size(); ++i) {
+      const auto& point = tariff_points[i];
+      obs::BenchResult entry;
+      entry.name = "tariff_" + std::to_string(i);
+      entry.objective = point.cost;
+      entry.meta["second_block_multiplier"] =
+          tariff_cases[i].second_block_multiplier;
+      entry.meta["energy_mwh"] = point.energy / 1000.0;
+      entry.meta["upper_block_hours"] = static_cast<double>(point.upper);
+      entry.meta["boundary_hours"] = static_cast<double>(point.pinned);
+      report.add(entry);
+    }
+    for (std::size_t i = 0; i < cap_fractions.size(); ++i) {
+      const auto& point = cap_points[i];
+      obs::BenchResult entry;
+      entry.name = "power_cap_" + std::to_string(i);
+      entry.objective = point.cost;
+      entry.meta["cap_fraction"] = cap_fractions[i];
+      entry.meta["peak_mw"] = point.peak / 1000.0;
+      entry.meta["binding_hours"] = static_cast<double>(point.binding);
+      entry.meta["dropped_caps"] = static_cast<double>(point.dropped);
+      report.add(entry);
+    }
+    bench::emit_bench_report(report);
+  }
   std::cout << "\nreading: the cap binds only during workload peaks; cost "
                "rises gently as the cap tightens because the solver absorbs "
                "the cut as extra delay on the hottest hours.\n";

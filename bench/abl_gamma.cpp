@@ -66,6 +66,28 @@ int main() {
     beta_table.add_row({betas[i], row.cost, row.delay_share, row.usage_norm});
   }
   bench::emit(beta_table);
+  {
+    obs::BenchReport report("abl_gamma");
+    for (std::size_t i = 0; i < gammas.size(); ++i) {
+      obs::BenchResult entry;
+      entry.name = "gamma_" + std::to_string(i);
+      entry.objective = gamma_rows[i].cost;
+      entry.meta["gamma"] = gammas[i];
+      entry.meta["delay_share"] = gamma_rows[i].delay_share;
+      entry.meta["usage_norm"] = gamma_rows[i].usage_norm;
+      report.add(entry);
+    }
+    for (std::size_t i = 0; i < betas.size(); ++i) {
+      obs::BenchResult entry;
+      entry.name = "beta_" + std::to_string(i);
+      entry.objective = beta_rows[i].cost;
+      entry.meta["beta"] = betas[i];
+      entry.meta["delay_share"] = beta_rows[i].delay_share;
+      entry.meta["usage_norm"] = beta_rows[i].usage_norm;
+      report.add(entry);
+    }
+    bench::emit_bench_report(report);
+  }
   std::cout << "\nreading: beta moves the operating point along the "
                "electricity/delay tradeoff; the default 0.005 keeps the delay "
                "share in the regime the paper's figures imply (comparable "

@@ -24,6 +24,10 @@ int main() {
   // concurrently would charge each point for its neighbours' CPU time.
   util::Table groups_table({"groups", "GSD best / ladder", "accept rate",
                             "500 iters wall (s)"});
+  struct GroupPoint {
+    double groups = 0.0, ratio = 0.0, accept = 0.0, wall_s = 0.0;
+  };
+  std::vector<GroupPoint> group_points;
   for (std::size_t groups : {25u, 50u, 100u, 200u, 400u}) {
     sim::ScenarioConfig config;
     config.hours = 200;
@@ -45,6 +49,11 @@ int main() {
     const auto result = opt::GsdSolver(gsd).solve(scenario.fleet, input, weights);
     const auto stop = std::chrono::steady_clock::now();
     groups_table.add_row(
+        {static_cast<double>(groups),
+         result.best.outcome.objective / ladder.outcome.objective,
+         static_cast<double>(result.accepted) / 500.0,
+         std::chrono::duration<double>(stop - start).count()});
+    group_points.push_back(
         {static_cast<double>(groups),
          result.best.outcome.objective / ladder.outcome.objective,
          static_cast<double>(result.accepted) / 500.0,
@@ -115,6 +124,10 @@ int main() {
   // see src/opt/gsd.hpp.
   util::Table chains_table({"chains", "iters/chain", "best / ladder",
                             "winning chain", "wall (s)"});
+  struct ChainPoint {
+    double chains = 0.0, ratio = 0.0, winning = 0.0, wall_s = 0.0;
+  };
+  std::vector<ChainPoint> chain_points;
   for (int chains : {1, 2, 4, 8}) {
     opt::GsdConfig gsd;
     gsd.iterations = 500;
@@ -129,8 +142,44 @@ int main() {
          result.best.outcome.objective / ladder.outcome.objective,
          static_cast<double>(result.winning_chain),
          std::chrono::duration<double>(stop - start).count()});
+    chain_points.push_back(
+        {static_cast<double>(chains),
+         result.best.outcome.objective / ladder.outcome.objective,
+         static_cast<double>(result.winning_chain),
+         std::chrono::duration<double>(stop - start).count()});
   }
   bench::emit(chains_table);
+  {
+    obs::BenchReport report("abl_gsd");
+    for (std::size_t i = 0; i < group_points.size(); ++i) {
+      obs::BenchResult entry;
+      entry.name = "groups_" + std::to_string(i);
+      entry.wall_s = group_points[i].wall_s;
+      entry.objective = group_points[i].ratio;
+      entry.meta["groups"] = group_points[i].groups;
+      entry.meta["accept_rate"] = group_points[i].accept;
+      report.add(entry);
+    }
+    for (std::size_t i = 0; i < schedules.size(); ++i) {
+      obs::BenchResult entry;
+      entry.name = "schedule_" + std::to_string(i);
+      entry.objective = schedule_results[i].best.outcome.objective /
+                        ladder.outcome.objective;
+      entry.meta["accept_rate"] =
+          static_cast<double>(schedule_results[i].accepted) / 500.0;
+      report.add(entry);
+    }
+    for (std::size_t i = 0; i < chain_points.size(); ++i) {
+      obs::BenchResult entry;
+      entry.name = "chains_" + std::to_string(i);
+      entry.wall_s = chain_points[i].wall_s;
+      entry.objective = chain_points[i].ratio;
+      entry.meta["chains"] = chain_points[i].chains;
+      entry.meta["winning_chain"] = chain_points[i].winning;
+      report.add(entry);
+    }
+    bench::emit_bench_report(report);
+  }
   std::cout << "\nreading: the merged best never worsens as chains are added "
                "(chain 0 replays the single-chain run); with enough cores "
                "the wall-clock stays near the single-chain time, so extra "

@@ -60,6 +60,29 @@ int main() {
                    coca_avg / oracle_avg, static_cast<double>(missed)});
   }
   bench::emit(table);
+  {
+    obs::BenchReport report("abl_lookahead");
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      const auto& result = results[i];
+      std::size_t missed = 0;
+      for (bool met : result.frame_budget_met) missed += !met;
+      const double oracle_avg =
+          result.total_cost / static_cast<double>(scenario.env.slots());
+      obs::BenchResult entry;
+      entry.name = "lookahead_" + std::to_string(i);
+      entry.objective = oracle_avg;
+      entry.meta["window_h"] = static_cast<double>(windows[i]);
+      entry.meta["coca_over_oracle"] = coca_avg / oracle_avg;
+      entry.meta["frames_missing_budget"] = static_cast<double>(missed);
+      report.add(entry);
+    }
+    obs::BenchResult coca_entry;
+    coca_entry.name = "coca";
+    coca_entry.objective = coca_avg;
+    coca_entry.meta["calibrated_v"] = v_star.v;
+    report.add(coca_entry);
+    bench::emit_bench_report(report);
+  }
   std::cout << "\nCOCA (V = " << v_star.v << ") avg cost: " << coca_avg
             << " $/h\n";
   std::cout << "\nreading: short windows force the oracle to respect a per-"

@@ -60,6 +60,23 @@ int main() {
                        scenario.budget.total_allowance()});
   }
   bench::emit(table);
+  {
+    obs::BenchReport report("abl_portfolio");
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      const auto& result = results[i + 1];
+      obs::BenchResult entry;
+      entry.name = "mix_" + std::to_string(i);
+      entry.objective = result.metrics.average_cost();
+      entry.meta["offsite_share"] = shares[i];
+      entry.meta["cost_change_pct"] =
+          100.0 * (result.metrics.average_cost() / base_cost - 1.0);
+      entry.meta["budget_used_pct"] =
+          100.0 * result.metrics.total_brown_kwh() /
+          scenario.budget.total_allowance();
+      report.add(entry);
+    }
+    bench::emit_bench_report(report);
+  }
   std::cout << "\npaper shape: cost varies by ~1% across mixes — only the "
                "total budget matters.  (RECs smooth the allowance evenly over "
                "time; off-site renewables deliver it intermittently, which "

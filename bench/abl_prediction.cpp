@@ -58,6 +58,23 @@ int main() {
              scenario.budget.total_allowance()});
   }
   bench::emit(table);
+  {
+    obs::BenchReport report("abl_prediction");
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+      const auto& result = results[i];
+      obs::BenchResult entry;
+      entry.name = "error_" + std::to_string(i);
+      entry.objective = result.metrics.total_cost();
+      entry.meta["prediction_error"] = errors[i];
+      entry.meta["cost_increase_pct"] =
+          100.0 * (result.metrics.total_cost() / exact.metrics.total_cost() -
+                   1.0);
+      entry.meta["fallback_slots"] =
+          static_cast<double>(result.infeasible_slots);
+      report.add(entry);
+    }
+    bench::emit_bench_report(report);
+  }
   std::cout << "\npaper claim: COCA is robust against inaccurate knowledge of "
                "workload arrival rates — the cost penalty stays within a few "
                "percent because under-provisioned slots are re-balanced at "

@@ -125,6 +125,28 @@ int main() {
                     hetero_points[i].usage});
   }
   bench::emit(hetero);
+  {
+    obs::BenchReport report("abl_server_settings");
+    for (std::size_t i = 0; i < level_counts.size(); ++i) {
+      obs::BenchResult entry;
+      entry.name = "dvfs_levels_" + std::to_string(i);
+      entry.objective = dvfs_points[i].cost;
+      entry.meta["levels"] = static_cast<double>(level_counts[i]);
+      entry.meta["vs_4level_pct"] =
+          100.0 * (dvfs_points[i].cost / four_level_cost - 1.0);
+      entry.meta["usage_norm"] = dvfs_points[i].usage;
+      report.add(entry);
+    }
+    for (std::size_t i = 0; i < spreads.size(); ++i) {
+      obs::BenchResult entry;
+      entry.name = "hetero_spread_" + std::to_string(i);
+      entry.objective = hetero_points[i].cost;
+      entry.meta["speed_spread"] = spreads[i];
+      entry.meta["usage_norm"] = hetero_points[i].usage;
+      report.add(entry);
+    }
+    bench::emit_bench_report(report);
+  }
   std::cout << "\nreading: at a fixed server count, an older mix is simply "
                "a worse fleet (less capacity, more W per request), so cost "
                "rises with the spread; COCA limits the damage by parking the "

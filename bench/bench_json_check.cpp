@@ -1,9 +1,12 @@
 // CLI validator for BENCH_*.json artifacts: consumes the file with the same
 // parser (obs::BenchReport::parse_file) the tests use, so the artifact is
-// read exactly as written.  Exits non-zero on a malformed file, an empty
-// result set, or a result whose `deterministic` meta flag is present but not
-// set — the latter turns a silent determinism regression in a bench into a
-// red smoke test.  Used by the bench_json_smoke ctest and by CI.
+// read exactly as written.  Exits non-zero on a malformed file, an unknown
+// schema version (parse rejects those), a structurally unsound report
+// (BenchReport::validate: empty result set, empty or duplicate result names,
+// NaN/Inf values anywhere), or a result whose `deterministic` meta flag is
+// present but not set — the latter turns a silent determinism regression in
+// a bench into a red smoke test.  Used by the bench_json_smoke ctest and by
+// CI's obs-smoke / bench-regression jobs.
 
 #include <exception>
 #include <iostream>
@@ -18,15 +21,14 @@ int main(int argc, char** argv) {
   try {
     const coca::obs::BenchReport report =
         coca::obs::BenchReport::parse_file(argv[1]);
-    if (report.results().empty()) {
-      std::cerr << argv[1] << ": no results\n";
+    const auto problems = report.validate();
+    if (!problems.empty()) {
+      for (const auto& problem : problems) {
+        std::cerr << argv[1] << ": " << problem << "\n";
+      }
       return 1;
     }
     for (const auto& result : report.results()) {
-      if (result.name.empty()) {
-        std::cerr << argv[1] << ": result with empty name\n";
-        return 1;
-      }
       const auto flag = result.meta.find("deterministic");
       if (flag != result.meta.end() && flag->second != 1.0) {
         std::cerr << argv[1] << ": '" << result.name

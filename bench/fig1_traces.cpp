@@ -68,5 +68,28 @@ int main() {
   std::cout << "year construction: " << year.size()
             << " slots from the repeated week with +/-40% noise (paper's own "
                "construction)\n";
+
+  {
+    obs::BenchReport report("fig1_traces");
+    obs::BenchResult fiu_trace;
+    fiu_trace.name = "fiu_like";
+    fiu_trace.objective = fiu.mean();
+    fiu_trace.meta["slots"] = static_cast<double>(fiu.size());
+    fiu_trace.meta["peak_over_mean"] = fiu.peak() / fiu.mean();
+    fiu_trace.meta["july_surge_ratio"] = july.mean() / rest.mean();
+    fiu_trace.meta["diurnal_autocorr_24h"] =
+        util::autocorrelation(fiu.values(), 24);
+    fiu_trace.meta["deterministic"] = 1.0;
+    report.add(fiu_trace);
+    obs::BenchResult msr_trace;
+    msr_trace.name = "msr_like_week";
+    msr_trace.objective = msr.mean();
+    msr_trace.meta["slots"] = static_cast<double>(msr.size());
+    msr_trace.meta["weekday_weekend_ratio"] = weekday.mean() / weekend.mean();
+    msr_trace.meta["year_slots"] = static_cast<double>(year.size());
+    msr_trace.meta["deterministic"] = 1.0;
+    report.add(msr_trace);
+    bench::emit_bench_report(report);
+  }
   return 0;
 }

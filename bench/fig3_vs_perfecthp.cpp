@@ -59,6 +59,27 @@ int main() {
 
   const double saving =
       1.0 - coca.metrics.total_cost() / perfect_hp.metrics.total_cost();
+  {
+    obs::BenchReport report("fig3_vs_perfecthp");
+    obs::BenchResult coca_entry;
+    coca_entry.name = "coca";
+    coca_entry.objective = coca.metrics.total_cost();
+    coca_entry.meta["calibrated_v"] = v_star.v;
+    coca_entry.meta["budget_used_pct"] =
+        100.0 * coca.metrics.total_brown_kwh() /
+        scenario.budget.total_allowance();
+    coca_entry.meta["saving_vs_perfecthp_pct"] = saving * 100.0;
+    report.add(coca_entry);
+    obs::BenchResult hp_entry;
+    hp_entry.name = "perfect_hp";
+    hp_entry.objective = perfect_hp.metrics.total_cost();
+    hp_entry.meta["budget_used_pct"] =
+        100.0 * perfect_hp.metrics.total_brown_kwh() /
+        scenario.budget.total_allowance();
+    hp_entry.meta["caps_dropped"] = static_cast<double>(hp.caps_dropped());
+    report.add(hp_entry);
+    bench::emit_bench_report(report);
+  }
   std::cout << "\nCOCA cost saving vs PerfectHP: " << saving * 100.0
             << "%  (paper: more than 25%)\n";
   std::cout << "COCA budget usage:      "

@@ -122,5 +122,39 @@ int main() {
             << reference.outcome.objective << " (ratio "
             << run.best.outcome.objective / reference.outcome.objective
             << ")\n";
+
+  {
+    obs::BenchReport report("fig4_gsd");
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+      obs::BenchResult point;
+      point.name = "delta_" + std::to_string(i);
+      point.objective = trajectories[i].back();
+      point.meta["delta"] = deltas[i];
+      point.meta["iterations"] = static_cast<double>(iterations);
+      point.meta["vs_ladder_ratio"] =
+          trajectories[i].back() / reference.outcome.objective;
+      report.add(point);
+    }
+    for (std::size_t i = 0; i < inits.size(); ++i) {
+      obs::BenchResult point;
+      point.name = "init_" + std::to_string(i);
+      point.objective = inits[i].back();
+      point.meta["iterations"] = static_cast<double>(long_iterations);
+      point.meta["vs_ladder_ratio"] =
+          inits[i].back() / reference.outcome.objective;
+      report.add(point);
+    }
+    obs::BenchResult timing;
+    timing.name = "sec523_timing_500it_200groups";
+    timing.wall_s = seconds;
+    timing.evals_per_sec =
+        seconds > 0.0 ? static_cast<double>(run.evaluations) / seconds : 0.0;
+    timing.objective = run.best.outcome.objective;
+    timing.meta["groups"] = static_cast<double>(scenario.fleet.group_count());
+    timing.meta["vs_ladder_ratio"] =
+        run.best.outcome.objective / reference.outcome.objective;
+    report.add(timing);
+    bench::emit_bench_report(report);
+  }
   return 0;
 }

@@ -16,7 +16,8 @@
 
 namespace coca::bench {
 
-inline void run_budget_sweep(sim::WorkloadKind workload,
+inline void run_budget_sweep(const std::string& suite,
+                             sim::WorkloadKind workload,
                              const std::vector<double>& budget_fractions) {
   sim::ScenarioConfig config = default_scenario_config();
   config.workload = workload;
@@ -81,6 +82,22 @@ inline void run_budget_sweep(sim::WorkloadKind workload,
                    point.usage});
   }
   emit(table);
+  {
+    obs::BenchReport report(suite);
+    for (std::size_t i = 0; i < budget_fractions.size(); ++i) {
+      const auto& point = points[i];
+      obs::BenchResult entry;
+      entry.name = "budget_" + std::to_string(i);
+      entry.objective = point.coca_cost;
+      entry.meta["budget_fraction"] = budget_fractions[i];
+      entry.meta["opt_cost_norm"] = point.opt_cost;
+      entry.meta["neutral"] = point.neutral ? 1.0 : 0.0;
+      entry.meta["calibrated_v"] = point.v;
+      entry.meta["usage_norm"] = point.usage;
+      report.add(entry);
+    }
+    emit_bench_report(report);
+  }
   std::cout << "\npaper shape: at an 85% budget COCA exceeds the unaware cost "
                "by only a few percent while meeting neutrality, and tracks "
                "OPT closely; at budgets >= 1.0 COCA coincides with unaware "

@@ -10,7 +10,8 @@
 int main() {
   coca::bench::banner("Fig. 5(a)",
                       "normalized cost vs carbon budget (FIU-like workload)");
-  coca::bench::run_budget_sweep(coca::sim::WorkloadKind::kFiuLike,
+  coca::bench::run_budget_sweep("fig5a_budget_fiu",
+                                coca::sim::WorkloadKind::kFiuLike,
                                 {0.85, 0.90, 0.92, 0.95, 1.00, 1.05});
   return 0;
 }

@@ -9,7 +9,8 @@
 int main() {
   coca::bench::banner("Fig. 5(b)",
                       "normalized cost vs carbon budget (MSR-like workload)");
-  coca::bench::run_budget_sweep(coca::sim::WorkloadKind::kMsrLike,
+  coca::bench::run_budget_sweep("fig5b_budget_msr",
+                                coca::sim::WorkloadKind::kMsrLike,
                                 {0.85, 0.90, 0.95, 1.00, 1.05});
   return 0;
 }

@@ -16,9 +16,11 @@
 #include <iostream>
 #include <vector>
 
+#include "core/coca_controller.hpp"
 #include "core/deficit_queue.hpp"
 #include "des/job_source.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/span.hpp"
 #include "opt/gsd.hpp"
 #include "opt/ladder_solver.hpp"
 #include "sim/scenario.hpp"
@@ -158,7 +160,8 @@ BENCHMARK(BM_DeficitQueueUpdate);
 
 std::vector<double> run_v_sweep(const sim::Scenario& scenario,
                                 const std::vector<double>& vs,
-                                std::size_t threads) {
+                                std::size_t threads,
+                                std::size_t& queue_high_water) {
   sim::SweepRunner runner({.threads = threads});
   const auto per_point = runner.map(vs, [&](double v) {
     const auto result = sim::run_coca_constant_v(scenario, v);
@@ -167,12 +170,44 @@ std::vector<double> run_v_sweep(const sim::Scenario& scenario,
                                result.metrics.total_delay_cost(),
                                static_cast<double>(result.infeasible_slots)};
   });
+  queue_high_water = runner.queue_high_water();
   std::vector<double> flat;
   flat.reserve(per_point.size() * 4);
   for (const auto& metrics : per_point) {
     flat.insert(flat.end(), metrics.begin(), metrics.end());
   }
   return flat;
+}
+
+/// Per-stage span profile of a short GSD-engine run: where a COCA slot
+/// spends its time (`gsd_chain` vs the `load_lp` inner solver).  Counts are
+/// deterministic; the *_ms fields are timing (bench_diff thresholds them).
+void add_span_profile(obs::BenchReport& report, const sim::Scenario& scenario) {
+  obs::SpanProfiler profiler;
+  {
+    const obs::SpanProfilerScope scope(&profiler);
+    core::CocaConfig config;
+    config.weights = scenario.weights;
+    config.alpha = scenario.budget.alpha();
+    config.rec_per_slot = scenario.budget.rec_per_slot();
+    config.schedule = core::VSchedule::constant(1e4);
+    config.engine = core::P3Engine::kGsd;
+    config.gsd.chains = 2;
+    config.gsd.iterations = 50;
+    core::CocaController controller(scenario.fleet, config);
+    sim::run_simulation(scenario.fleet, scenario.env, controller,
+                        scenario.weights);
+  }
+  for (const auto& [path, stats] : profiler.snapshot()) {
+    obs::BenchResult span;
+    span.name = "span:";
+    span.name += path;
+    span.objective = static_cast<double>(stats.count);
+    span.meta["count"] = static_cast<double>(stats.count);
+    span.meta["total_ms"] = static_cast<double>(stats.total_ns) / 1e6;
+    span.meta["self_ms"] = static_cast<double>(stats.self_ns) / 1e6;
+    report.add(span);
+  }
 }
 
 void report_sweep_scaling() {
@@ -192,15 +227,17 @@ void report_sweep_scaling() {
     vs.push_back(std::pow(10.0, 8.0 * static_cast<double>(i) / 99.0));
   }
 
-  auto timed = [&](std::size_t n) {
+  std::size_t serial_high_water = 0;
+  std::size_t parallel_high_water = 0;
+  auto timed = [&](std::size_t n, std::size_t& high_water) {
     const auto start = std::chrono::steady_clock::now();
-    auto metrics = run_v_sweep(scenario, vs, n);
+    auto metrics = run_v_sweep(scenario, vs, n, high_water);
     const auto stop = std::chrono::steady_clock::now();
     return std::pair(std::chrono::duration<double>(stop - start).count(),
                      std::move(metrics));
   };
-  const auto [serial_s, serial_metrics] = timed(1);
-  const auto [parallel_s, parallel_metrics] = timed(threads);
+  const auto [serial_s, serial_metrics] = timed(1, serial_high_water);
+  const auto [parallel_s, parallel_metrics] = timed(threads, parallel_high_water);
 
   bool identical = serial_metrics.size() == parallel_metrics.size();
   for (std::size_t i = 0; identical && i < serial_metrics.size(); ++i) {
@@ -236,11 +273,18 @@ void report_sweep_scaling() {
     result.meta["deterministic"] = identical ? 1.0 : 0.0;
     return result;
   };
-  report.add(entry("sweep_scaling_serial", 1, serial_s, serial_metrics));
+  obs::BenchResult serial_entry =
+      entry("sweep_scaling_serial", 1, serial_s, serial_metrics);
+  serial_entry.meta["pool_queue_high_water"] =
+      static_cast<double>(serial_high_water);
+  report.add(serial_entry);
   obs::BenchResult scaled =
       entry("sweep_scaling_parallel", threads, parallel_s, parallel_metrics);
   scaled.meta["speedup"] = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  scaled.meta["pool_queue_high_water"] =
+      static_cast<double>(parallel_high_water);
   report.add(scaled);
+  add_span_profile(report, scenario);
   std::cout << "bench json: " << report.write() << "\n\n";
 }
 

@@ -1,0 +1,43 @@
+# Smoke driver for the BENCH regression harness (run via ctest, see
+# bench/CMakeLists.txt): run a cheap bench TWICE into two directories and
+# require tools/bench_diff.py to find zero drift between them.  A self-diff
+# keeps the ctest machine-independent (committed-golden comparison lives in
+# CI's bench-regression job, where the toolchain is pinned); what it proves
+# is that (a) the bench's deterministic fields really are reproducible
+# run-to-run and (b) the diff tool accepts its own report format.
+#
+# Expected variables: BENCH_BIN, CHECKER, DIFF_TOOL, PYTHON, OUT_DIR.
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+foreach(run a b)
+  file(MAKE_DIRECTORY "${OUT_DIR}/${run}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            "COCA_BENCH_JSON_DIR=${OUT_DIR}/${run}"
+            "COCA_BENCH_HOURS=240" "COCA_BENCH_GROUPS=6" "COCA_THREADS=2"
+            "${BENCH_BIN}"
+    RESULT_VARIABLE run_rc
+    OUTPUT_QUIET)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "bench run ${run} failed with exit code ${run_rc}")
+  endif()
+endforeach()
+
+file(GLOB reports "${OUT_DIR}/a/BENCH_*.json")
+if(reports STREQUAL "")
+  message(FATAL_ERROR "bench emitted no BENCH_*.json into ${OUT_DIR}/a")
+endif()
+foreach(report ${reports})
+  execute_process(COMMAND "${CHECKER}" "${report}" RESULT_VARIABLE check_rc)
+  if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR "${report} failed validation (${check_rc})")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${PYTHON}" "${DIFF_TOOL}" "${OUT_DIR}/a" "${OUT_DIR}/b"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "self-diff found drift (${diff_rc}) — bench output is "
+                      "not reproducible run-to-run")
+endif()

@@ -9,6 +9,12 @@
 //      residual deficit (Sec. 4.3 discussion after Theorem 2).
 //
 // Usage: annual_report [hours] [groups]   (defaults: 4380 slots, 16 groups)
+//
+// Set COCA_TRACE_JSONL=<path> to also export the COCA run's per-slot JSONL
+// trace (schema coca-slot-trace-v1) with the span profile as its footer
+// line; COCA_OBS_ASYNC=1 routes the write through the background
+// obs::AsyncTraceSink (see README "Observability" for the ring/policy
+// knobs).
 
 #include <cstdlib>
 #include <iostream>
@@ -16,9 +22,56 @@
 #include "baselines/perfect_hp.hpp"
 #include "baselines/offline_opt.hpp"
 #include "core/calibration.hpp"
+#include "core/coca_controller.hpp"
 #include "energy/rec_ledger.hpp"
+#include "obs/async_sink.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "sim/scenario.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// The calibrated COCA run, traced to `path`.  Same controller configuration
+/// as sim::run_coca_constant_v, plus the trace sink and span profiler.
+coca::sim::SimResult run_coca_traced(const coca::sim::Scenario& scenario,
+                                     double v, const char* path) {
+  using namespace coca;
+  obs::SpanProfiler profiler;
+  const obs::SpanProfilerScope profile_scope(&profiler);
+  core::CocaConfig config;
+  config.weights = scenario.weights;
+  config.schedule = core::VSchedule::constant(v);
+  config.alpha = scenario.budget.alpha();
+  config.rec_per_slot = scenario.budget.rec_per_slot();
+  core::CocaController controller(scenario.fleet, config);
+  sim::SimOptions options;
+  if (obs::AsyncTraceSink::enabled_by_env()) {
+    obs::AsyncTraceSink sink(path, obs::AsyncTraceSink::options_from_env());
+    options.trace = &sink;
+    const auto result = sim::run_simulation(scenario.fleet, scenario.env,
+                                            controller, scenario.weights,
+                                            options);
+    sink.set_footer(profiler.to_json());
+    std::cout << "wrote slot trace " << path << " (async sink, ring "
+              << sink.options().ring_capacity << ", high water "
+              << sink.high_water() << ", dropped " << sink.dropped()
+              << ")\n\n";
+    return result;
+  }
+  obs::SlotTraceWriter writer;
+  options.trace = &writer;
+  const auto result = sim::run_simulation(scenario.fleet, scenario.env,
+                                          controller, scenario.weights,
+                                          options);
+  writer.set_footer(profiler.to_json());
+  writer.write_jsonl_file(path);
+  std::cout << "wrote slot trace " << path << " (" << writer.size()
+            << " slots, synchronous)\n\n";
+  return result;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace coca;
@@ -48,8 +101,11 @@ int main(int argc, char** argv) {
             << (v_star.target_met ? "yes" : "no") << ", " << v_star.runs
             << " trial runs)\n\n";
 
-  // Step 3: all four controllers.
-  const auto coca = sim::run_coca_constant_v(scenario, v_star.v);
+  // Step 3: all four controllers (the COCA run traced when requested).
+  const char* trace_path = std::getenv("COCA_TRACE_JSONL");
+  const auto coca = (trace_path != nullptr && trace_path[0] != '\0')
+                        ? run_coca_traced(scenario, v_star.v, trace_path)
+                        : sim::run_coca_constant_v(scenario, v_star.v);
   const auto unaware = sim::run_carbon_unaware(scenario.fleet, scenario.env,
                                                scenario.weights);
   baselines::PerfectHpController hp(scenario.fleet, scenario.weights,

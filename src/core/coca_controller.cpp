@@ -1,6 +1,7 @@
 #include "core/coca_controller.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace coca::core {
 
@@ -34,12 +35,14 @@ opt::SlotSolution CocaController::plan(std::size_t t,
   last_solve_.solver_accepted = 0;
   last_solve_.solver_chains = 0;
   last_solve_.solver_winning_chain = -1;
+  const obs::ScopedSpan ladder_span("ladder_solve");
   return ladder_.solve(*fleet_, input, weights);
 }
 
 void CocaController::observe(std::size_t t, const opt::SlotOutcome& billed,
                              double offsite_kwh) {
   (void)t;
+  const obs::ScopedSpan queue_span("queue_update");
   // Line 6: Eq. 17 with the realized f(t) — through the typed layer, so the
   // queue only ever ingests energies.  `rec_per_slot` is the unscaled Z/J;
   // the queue applies alpha to both offsets.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace coca::core {
 
@@ -28,6 +29,7 @@ opt::SlotSolution DynamicRecCocaController::plan(std::size_t t,
   opt::SlotWeights weights = config_.weights;
   weights.V = config_.schedule.v_for_slot(t);
   weights.q = queue_.length();
+  const obs::ScopedSpan ladder_span("ladder_solve");
   return ladder_.solve(*fleet_, input, weights);
 }
 
@@ -53,6 +55,7 @@ double DynamicRecCocaController::purchase_decision(std::size_t t,
 void DynamicRecCocaController::observe(std::size_t t,
                                        const opt::SlotOutcome& billed,
                                        double offsite_kwh) {
+  const obs::ScopedSpan rec_span("rec_policy");
   // First the ordinary Eq. 17 update with the realized off-site renewables
   // and any pre-purchased per-slot block ...
   queue_.update(billed.brown_energy(), units::KiloWattHours{offsite_kwh},

@@ -1,7 +1,9 @@
 #include "obs/bench_report.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -83,6 +85,52 @@ BenchReport BenchReport::parse(const std::string& json) {
     report.add(std::move(result));
   }
   return report;
+}
+
+std::vector<std::string> BenchReport::validate() const {
+  std::vector<std::string> problems;
+  const auto flag = [&problems](std::string message) {
+    problems.push_back(std::move(message));
+  };
+  if (suite_.empty()) flag("empty suite name");
+  if (results_.empty()) flag("no results");
+  std::set<std::string> names;
+  for (const auto& result : results_) {
+    std::string where = "result '";
+    where += result.name;
+    where += "'";
+    if (result.name.empty()) flag("empty result name");
+    if (!names.insert(result.name).second) {
+      std::string message = "duplicate result name '";
+      message += result.name;
+      message += "'";
+      flag(std::move(message));
+    }
+    const auto check_finite = [&flag, &where](const char* field,
+                                              double value) {
+      if (!std::isfinite(value)) {
+        std::string message = where;
+        message += ": non-finite ";
+        message += field;
+        flag(std::move(message));
+      }
+    };
+    check_finite("wall_s", result.wall_s);
+    check_finite("evals_per_sec", result.evals_per_sec);
+    check_finite("objective", result.objective);
+    for (const auto& [key, value] : result.meta) {
+      if (key.empty()) {
+        std::string message = where;
+        message += ": empty meta key";
+        flag(std::move(message));
+      }
+      std::string field = "meta '";
+      field += key;
+      field += "'";
+      check_finite(field.c_str(), value);
+    }
+  }
+  return problems;
 }
 
 BenchReport BenchReport::parse_file(const std::string& path) {

@@ -62,6 +62,14 @@ class BenchReport {
   static BenchReport parse(const std::string& json);
   static BenchReport parse_file(const std::string& path);
 
+  /// Structural soundness beyond what parse() enforces: non-empty suite and
+  /// result set, non-empty unique result names, and every value (wall_s,
+  /// evals_per_sec, objective, meta) finite — NaN/Inf would silently poison
+  /// exact-match regression diffs.  Returns the problems found, empty when
+  /// the report is valid.  Used by bench_json_check and tools/bench_diff.py's
+  /// C++ twin to reject malformed reports before they become goldens.
+  std::vector<std::string> validate() const;
+
  private:
   std::string suite_;
   std::vector<BenchResult> results_;

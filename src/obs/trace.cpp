@@ -46,6 +46,7 @@ std::string to_json_line(const SlotTrace& slot) {
 
 void SlotTraceWriter::write_jsonl(std::ostream& out) const {
   for (const auto& slot : slots_) out << to_json_line(slot) << '\n';
+  if (!footer_.empty()) out << footer_ << '\n';
 }
 
 std::string SlotTraceWriter::to_jsonl() const {
@@ -63,17 +64,28 @@ void SlotTraceWriter::write_jsonl_file(const std::string& path) const {
 }
 
 std::string mask_timing_fields(const std::string& jsonl) {
-  static constexpr std::string_view kKey = "\"solve_ms\":";
+  // Every key whose value is wall-clock derived; everything else in a trace
+  // (and in the span-profile footer) is deterministic.
+  static constexpr std::string_view kKeys[] = {
+      "\"solve_ms\":", "\"total_ms\":", "\"self_ms\":"};
   std::string out;
   out.reserve(jsonl.size());
   std::size_t pos = 0;
   while (pos < jsonl.size()) {
-    const std::size_t hit = jsonl.find(kKey, pos);
+    std::size_t hit = std::string::npos;
+    std::size_t key_size = 0;
+    for (const auto key : kKeys) {
+      const std::size_t candidate = jsonl.find(key, pos);
+      if (candidate < hit) {
+        hit = candidate;
+        key_size = key.size();
+      }
+    }
     if (hit == std::string::npos) {
       out.append(jsonl, pos, std::string::npos);
       break;
     }
-    const std::size_t value_start = hit + kKey.size();
+    const std::size_t value_start = hit + key_size;
     std::size_t value_end = value_start;
     while (value_end < jsonl.size() && jsonl[value_end] != ',' &&
            jsonl[value_end] != '}' && jsonl[value_end] != '\n') {

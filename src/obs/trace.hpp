@@ -59,17 +59,36 @@ struct SlotTrace {
 /// fixed key order and std::to_chars number formatting.
 std::string to_json_line(const SlotTrace& slot);
 
-/// Collects slot records and writes them as JSONL.  Single-producer: the
-/// simulator appends in slot order; parallel sweeps give each point its own
-/// writer.
-class SlotTraceWriter {
+/// Where slot records go.  The simulator only depends on this interface, so
+/// the same run can feed the in-memory SlotTraceWriter or the background
+/// AsyncTraceSink (obs/async_sink.hpp) interchangeably.  Single-producer:
+/// the (serial) simulator loop records in slot order.
+class TraceSink {
  public:
-  void record(const SlotTrace& slot) { slots_.push_back(slot); }
+  virtual ~TraceSink() = default;
+  virtual void record(const SlotTrace& slot) = 0;
+  /// Optional trailing JSONL line (e.g. the span-profile document from
+  /// obs/span.hpp), written after every slot record.  Default: ignored.
+  virtual void set_footer(std::string footer_line) { (void)footer_line; }
+};
+
+/// Collects slot records and writes them as JSONL.  Parallel sweeps give
+/// each point its own writer.
+class SlotTraceWriter : public TraceSink {
+ public:
+  void record(const SlotTrace& slot) override { slots_.push_back(slot); }
+  void set_footer(std::string footer_line) override {
+    footer_ = std::move(footer_line);
+  }
   const std::vector<SlotTrace>& slots() const { return slots_; }
   std::size_t size() const { return slots_.size(); }
-  void clear() { slots_.clear(); }
+  void clear() {
+    slots_.clear();
+    footer_.clear();
+  }
 
-  /// One JSON object per line, in recorded (slot) order.
+  /// One JSON object per line, in recorded (slot) order; the footer line
+  /// (when set) follows the last slot.
   void write_jsonl(std::ostream& out) const;
   /// Entire trace as a string (tests, golden comparisons).
   std::string to_jsonl() const;
@@ -78,10 +97,12 @@ class SlotTraceWriter {
 
  private:
   std::vector<SlotTrace> slots_;
+  std::string footer_;
 };
 
-/// Strip the timing fields from a JSONL trace so golden tests can compare
-/// the deterministic remainder byte-for-byte.
+/// Zero every timing value (`solve_ms`, and the span profile's `total_ms` /
+/// `self_ms`) in a JSONL trace so golden tests can compare the
+/// deterministic remainder byte-for-byte.
 std::string mask_timing_fields(const std::string& jsonl);
 
 }  // namespace coca::obs

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/thread_pool.hpp"
 
 namespace coca::opt {
@@ -40,8 +42,10 @@ GsdResult GsdSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
                            std::optional<dc::Allocation> initial) const {
   const int chains = std::max(1, config_.chains);
   if (chains == 1) {
-    GsdResult result =
-        solve_chain(fleet, input, weights, initial, config_.seed);
+    GsdResult result = [&] {
+      const obs::ScopedSpan chain_span("gsd_chain[0]");
+      return solve_chain(fleet, input, weights, initial, config_.seed);
+    }();
     obs::count("gsd.solves");
     obs::count("gsd.evaluations", result.evaluations);
     obs::count("gsd.accepted", result.accepted);
@@ -51,8 +55,18 @@ GsdResult GsdSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
   // Chain c draws from the deterministically derived stream seed ^ c, so
   // chain 0 reproduces the single-chain run and the chain set is a pure
   // function of the config.
+  //
+  // Capture the dispatching thread's span path so chain spans keep their
+  // place in the hierarchy whether run_chain executes inline (threads<=1)
+  // or on a pool worker — profile paths and counts must not depend on the
+  // thread count.
+  const std::string span_parent = obs::current_span_path();
   std::vector<GsdResult> per_chain(static_cast<std::size_t>(chains));
   auto run_chain = [&](std::size_t c) {
+    std::string chain_name = "gsd_chain[";
+    chain_name += std::to_string(c);
+    chain_name += ']';
+    const obs::ScopedSpan chain_span(chain_name, span_parent);
     per_chain[c] =
         solve_chain(fleet, input, weights, initial,
                     config_.seed ^ static_cast<std::uint64_t>(c));
@@ -99,7 +113,10 @@ GsdResult GsdSolver::solve_chain(const dc::Fleet& fleet, const SlotInput& input,
   // Initialization (line 1): a feasible starting configuration.
   dc::Allocation kept =
       initial.value_or(all_on_max(fleet, input.lambda, weights.gamma));
-  auto kept_balance = balance_loads(fleet, kept, input, weights);
+  auto kept_balance = [&] {
+    const obs::ScopedSpan lp_span("load_lp");
+    return balance_loads(fleet, kept, input, weights);
+  }();
   ++result.evaluations;
   double kept_objective = kept_balance.outcome.objective;
 
@@ -115,13 +132,17 @@ GsdResult GsdSolver::solve_chain(const dc::Fleet& fleet, const SlotInput& input,
   if (config_.record_trajectory) result.trajectory.reserve(config_.iterations);
 
   for (int iter = 0; iter < config_.iterations; ++iter) {
+    const obs::ScopedSpan iter_span("sweep_iter");
     // Line 2: evaluate the exploration only if it can carry the workload.
     const double explored_capacity =
         dc::capped_capacity(fleet, explored, weights.gamma);
     if (explored_capacity >= input.lambda * (1.0 - 1e-12)) {
       // Line 3: optimal load distribution for the explored speeds.
       dc::Allocation candidate = explored;
-      const auto balanced = balance_loads(fleet, candidate, input, weights);
+      const auto balanced = [&] {
+        const obs::ScopedSpan lp_span("load_lp");
+        return balance_loads(fleet, candidate, input, weights);
+      }();
       ++result.evaluations;
       const double explored_objective = balanced.outcome.objective;
 
@@ -174,7 +195,10 @@ GsdResult GsdSolver::solve_chain(const dc::Fleet& fleet, const SlotInput& input,
   }
 
   // Line 8: return the kept configuration (we also expose the incumbent).
-  auto final_balance = balance_loads(fleet, kept, input, weights);
+  auto final_balance = [&] {
+    const obs::ScopedSpan lp_span("load_lp");
+    return balance_loads(fleet, kept, input, weights);
+  }();
   result.solution.alloc = kept;
   result.solution.outcome = final_balance.outcome;
   result.solution.regime = final_balance.regime;

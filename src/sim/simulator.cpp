@@ -4,6 +4,7 @@
 
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "opt/load_balancer.hpp"
 
 namespace coca::sim {
@@ -40,6 +41,10 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
 
   dc::Allocation previous(fleet.group_count());
   for (std::size_t t = 0; t < env.slots(); ++t) {
+    // Root of the per-slot span hierarchy: plan, billing and observe (so the
+    // controller's solver and REC spans nest underneath).  One span per slot
+    // keeps counts deterministic (== slot count).
+    const obs::ScopedSpan slot_span("slot");
     const opt::SlotInput planned_input{env.planning[t], env.onsite_kw[t],
                                        env.price[t]};
     // Clock reads happen only when a trace asks for them (obs boundary);

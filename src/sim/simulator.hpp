@@ -18,10 +18,12 @@ struct SimOptions {
   /// (what a real runtime load balancer does).  When false the planned
   /// loads are billed as-is (only valid when planning == actual workload).
   bool rebalance_actual = true;
-  /// Optional per-slot JSONL trace sink (see obs/trace.hpp).  One record is
+  /// Optional per-slot trace sink (see obs/trace.hpp).  One record is
   /// appended per slot, in slot order; every field except solve_ms is
-  /// deterministic.  Parallel sweeps give each point its own writer.
-  obs::SlotTraceWriter* trace = nullptr;
+  /// deterministic.  Accepts the in-memory SlotTraceWriter or the background
+  /// AsyncTraceSink (obs/async_sink.hpp).  Parallel sweeps give each point
+  /// its own sink.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct SimResult {

@@ -16,11 +16,13 @@
 //   3. one thread per hardware thread.
 
 #include <cstddef>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/thread_pool.hpp"
 
 namespace coca::sim {
@@ -37,6 +39,9 @@ class SweepRunner {
   explicit SweepRunner(SweepOptions options = {});
 
   std::size_t threads() const { return pool_.thread_count(); }
+  /// Deepest task-queue occupancy the pool has seen (saturation signal for
+  /// BENCH reports; nondeterministic, so timing-classed in bench_diff).
+  std::size_t queue_high_water() const { return pool_.queue_high_water(); }
 
   /// Evaluate fn(i) for every point i in [0, n) and return the results in
   /// point order, independent of thread count and completion order.
@@ -46,8 +51,15 @@ class SweepRunner {
       -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
     using R = std::invoke_result_t<Fn&, std::size_t>;
     obs::count("sweep.points", static_cast<std::int64_t>(n));
+    // Capture the dispatching thread's span path so each point's span keeps
+    // its place in the hierarchy regardless of which worker runs it (profile
+    // paths and counts stay independent of the thread count).
+    const std::string span_parent = obs::current_span_path();
     std::vector<R> results(n);
-    pool_.parallel_for(n, [&](std::size_t i) { results[i] = fn(i); });
+    pool_.parallel_for(n, [&](std::size_t i) {
+      const obs::ScopedSpan point_span("sweep_point", span_parent);
+      results[i] = fn(i);
+    });
     return results;
   }
 

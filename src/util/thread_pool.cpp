@@ -27,18 +27,29 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::post(std::function<void()> task) {
   std::size_t depth = 0;
+  std::size_t high_water = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
     depth = queue_.size();
+    if (depth > queue_high_water_) queue_high_water_ = depth;
+    high_water = queue_high_water_;
   }
-  // Pool health metrics (no-ops without a registry): submission rate and
-  // the deepest backlog seen — the utilization signals the ROADMAP's
-  // batching/sharding work needs.
+  // Pool health metrics (no-ops without a registry): submission rate, the
+  // instantaneous backlog, and the deepest backlog seen — the utilization
+  // signals the ROADMAP's batching/sharding work needs.  The instantaneous
+  // depth is racy (workers may pop before this line runs); the high-water
+  // mark is tracked under the lock and is the stable saturation signal.
   obs::count("pool.tasks_submitted");
   obs::gauge_set("pool.queue_depth", static_cast<double>(depth));
+  obs::gauge_set("pool.queue_high_water", static_cast<double>(high_water));
   task_ready_.notify_one();
+}
+
+std::size_t ThreadPool::queue_high_water() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_high_water_;
 }
 
 void ThreadPool::wait() {

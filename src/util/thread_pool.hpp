@@ -44,6 +44,12 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Deepest task-queue occupancy seen over the pool's lifetime.  The
+  /// instantaneous depth (the `pool.queue_depth` gauge) is racy by nature;
+  /// the high-water mark is the stable saturation signal and is reported
+  /// alongside it as `pool.queue_high_water`.
+  std::size_t queue_high_water() const;
+
   /// Queue a callable; the returned future carries its result or exception.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
@@ -93,7 +99,8 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::size_t queue_high_water_ = 0;  ///< deepest queue_ seen (under mutex_)
+  mutable std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;  ///< queued + currently executing

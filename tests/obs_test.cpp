@@ -260,6 +260,47 @@ TEST(ObsBench, ParseRejectsWrongSchema) {
   EXPECT_THROW(BenchReport::parse("[]"), std::runtime_error);
 }
 
+TEST(ObsBench, ValidateAcceptsWellFormedReport) {
+  BenchReport report("suite");
+  BenchResult r;
+  r.name = "point_0";
+  r.objective = 1.5;
+  r.meta["groups"] = 8.0;
+  report.add(r);
+  EXPECT_TRUE(report.validate().empty());
+}
+
+TEST(ObsBench, ValidateRejectsEmptyAndDuplicateNames) {
+  BenchReport empty_suite("");
+  EXPECT_FALSE(empty_suite.validate().empty());  // empty suite + no results
+
+  BenchReport report("suite");
+  BenchResult unnamed;
+  report.add(unnamed);  // empty result name
+  BenchResult dup;
+  dup.name = "twice";
+  report.add(dup);
+  report.add(dup);  // duplicate
+  const auto problems = report.validate();
+  ASSERT_EQ(problems.size(), 2u);
+  EXPECT_NE(problems[0].find("empty result name"), std::string::npos);
+  EXPECT_NE(problems[1].find("duplicate result name 'twice'"),
+            std::string::npos);
+}
+
+TEST(ObsBench, ValidateRejectsNonFiniteValues) {
+  BenchReport report("suite");
+  BenchResult r;
+  r.name = "bad";
+  r.objective = std::numeric_limits<double>::quiet_NaN();
+  r.meta["ratio"] = std::numeric_limits<double>::infinity();
+  report.add(r);
+  const auto problems = report.validate();
+  ASSERT_EQ(problems.size(), 2u);
+  EXPECT_NE(problems[0].find("non-finite objective"), std::string::npos);
+  EXPECT_NE(problems[1].find("non-finite meta 'ratio'"), std::string::npos);
+}
+
 TEST(ObsBench, DefaultPathHonoursEnvDir) {
   BenchReport report("suite_name");
   // Without the env var the file lands in the working directory.

@@ -10,11 +10,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace coca::util {
 namespace {
@@ -121,6 +124,30 @@ TEST(ThreadPool, ParallelForOnSingleWorkerRunsInline) {
     seen[i] = std::this_thread::get_id();
   });
   for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, QueueHighWaterTracksDeepestBacklog) {
+  obs::Registry registry;
+  obs::GlobalRegistryScope metrics(&registry);
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_high_water(), 0u);
+  // Hold the gate so both workers block, then pile up a deterministic
+  // backlog: the queue must have held at least those 8 tasks at once.
+  std::mutex gate;
+  std::unique_lock<std::mutex> hold(gate);
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&gate] { const std::lock_guard<std::mutex> lock(gate); });
+  }
+  for (int i = 0; i < 8; ++i) pool.submit([] {});
+  EXPECT_GE(pool.queue_high_water(), 8u);
+  hold.unlock();
+  pool.wait();
+  // High-water is monotone: draining the queue must not reset it.
+  EXPECT_GE(pool.queue_high_water(), 8u);
+#if !defined(COCA_OBS_DISABLED)
+  // The same saturation signal is exported as a gauge.
+  EXPECT_GE(registry.gauge("pool.queue_high_water").max(), 8.0);
+#endif
 }
 
 TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately) {

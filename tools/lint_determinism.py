@@ -23,6 +23,11 @@ A finding can be waived with an inline comment naming the reason:
 
     foo();  // NOLINT-DETERMINISM(reason why this is safe)
 
+Exception: CLOCK waivers (wall-clock / chrono-clock) are honoured only in
+src/obs/clock.hpp — the single sanctioned timer boundary.  A clock read
+waived anywhere else is itself a finding; route it through obs::now_ns()
+so the waiver surface stays one line.
+
 Usage:  lint_determinism.py [SRC_DIR ...]
 Exits 0 when clean, 1 with a file:line report otherwise.  Registered as the
 `lint_determinism` CTest test, so `ctest` fails when a hazard lands.
@@ -64,6 +69,9 @@ RULES = [
 ]
 
 WAIVER = re.compile(r"NOLINT-DETERMINISM\(([^)]+)\)")
+# Rules whose waivers are only honoured at the sanctioned timer boundary.
+CLOCK_RULES = {"wall-clock", "chrono-clock"}
+CLOCK_BOUNDARY = "obs/clock.hpp"
 LINE_COMMENT = re.compile(r"//.*$")
 EXTENSIONS = {".hpp", ".cpp", ".h", ".cc", ".cxx"}
 
@@ -97,9 +105,19 @@ def strip_block_comments(text: str) -> str:
 def lint_file(path: Path) -> list[str]:
     findings = []
     text = strip_block_comments(path.read_text(encoding="utf-8"))
+    at_clock_boundary = path.as_posix().endswith(CLOCK_BOUNDARY)
     for lineno, raw_line in enumerate(text.splitlines(), start=1):
         if WAIVER.search(raw_line):
-            continue  # waived with a reason — trusted
+            if at_clock_boundary:
+                continue  # waived with a reason — trusted
+            line = LINE_COMMENT.sub("", raw_line)
+            if any(p.search(line) for name, p, _ in RULES if name in CLOCK_RULES):
+                findings.append(
+                    f"{path}:{lineno}: [clock-waiver] clock reads can only be "
+                    f"waived in src/{CLOCK_BOUNDARY} — route timing through "
+                    f"obs::now_ns()\n    {raw_line.strip()}"
+                )
+            continue  # non-clock waivers are trusted anywhere
         line = LINE_COMMENT.sub("", raw_line)
         for name, pattern, message in RULES:
             if pattern.search(line):

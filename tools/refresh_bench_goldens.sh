@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Regenerate the committed BENCH golden reports under bench/golden/.
+#
+# The goldens pin every *deterministic* field (objective, non-timing meta) of
+# the cheap bench set; tools/bench_diff.py compares a fresh run against them
+# in CI's bench-regression job (timing fields are ignored there, so the
+# goldens are toolchain- but not machine-sensitive).  Regenerate ONLY when a
+# bench's deterministic output changes intentionally, and say why in the
+# commit message — see EXPERIMENTS.md ("Golden refresh workflow").
+#
+# Usage: tools/refresh_bench_goldens.sh [build_dir] [output_dir]
+#   build_dir   default: build
+#   output_dir  default: bench/golden
+#
+# The environment is pinned so every refresh (and CI run) evaluates the same
+# scenario: 240 hourly slots, 6 server groups, 2 sweep threads.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUTPUT_DIR="${2:-bench/golden}"
+
+# The cheap, fully deterministic subset: each completes in seconds at the
+# pinned knobs.  The remaining benches (fig4, fig5a/b, abl_gsd, ...) hardcode
+# paper-scale granularities and stay out of the golden loop; their reports
+# are still schema-validated by bench_json_check in CI's obs-smoke job.
+BENCHES=(
+  fig1_traces
+  fig2_impact_of_v
+  fig5d_switching
+  abl_portfolio
+  abl_recs
+)
+
+export COCA_BENCH_HOURS=240
+export COCA_BENCH_GROUPS=6
+export COCA_THREADS=2
+export COCA_BENCH_JSON_DIR="${OUTPUT_DIR}"
+unset COCA_BENCH_JSON  # COCA_BENCH_JSON_DIR alone opts in
+
+mkdir -p "${OUTPUT_DIR}"
+
+for bench in "${BENCHES[@]}"; do
+  binary="${BUILD_DIR}/bench/${bench}"
+  if [[ ! -x "${binary}" ]]; then
+    echo "refresh_bench_goldens: missing ${binary} (build the bench targets first)" >&2
+    exit 1
+  fi
+  echo "== ${bench}"
+  "${binary}" > /dev/null
+done
+
+# perf_micro: the sweep-scaling report + span profile, with the
+# google-benchmark table filtered out (it adds minutes and no goldenable
+# output).  Its BENCH report carries timing fields and the nondeterministic
+# pool high-water meta; bench_diff timing-classes those, and the span counts
+# and objective anchors diff exactly.
+perf_micro="${BUILD_DIR}/bench/perf_micro"
+if [[ ! -x "${perf_micro}" ]]; then
+  echo "refresh_bench_goldens: missing ${perf_micro}" >&2
+  exit 1
+fi
+echo "== perf_micro (sweep-scaling report only)"
+"${perf_micro}" --benchmark_filter=__golden_refresh_none__ > /dev/null
+
+checker="${BUILD_DIR}/bench/bench_json_check"
+if [[ -x "${checker}" ]]; then
+  for report in "${OUTPUT_DIR}"/BENCH_*.json; do
+    "${checker}" "${report}"
+  done
+fi
+
+echo "goldens written to ${OUTPUT_DIR}"
