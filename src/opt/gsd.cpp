@@ -91,9 +91,16 @@ GsdResult GsdSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
   GsdResult merged = per_chain[winner];
   merged.evaluations = 0;
   merged.accepted = 0;
+  merged.lp_stats = LoadLpStats{};
   for (const auto& chain : per_chain) {
     merged.evaluations += chain.evaluations;
     merged.accepted += chain.accepted;
+    merged.lp_stats.solves += chain.lp_stats.solves;
+    merged.lp_stats.warm += chain.lp_stats.warm;
+    merged.lp_stats.cold += chain.lp_stats.cold;
+    merged.lp_stats.memo_hits += chain.lp_stats.memo_hits;
+    merged.lp_stats.regime_flips += chain.lp_stats.regime_flips;
+    merged.lp_stats.nu_iterations += chain.lp_stats.nu_iterations;
   }
   merged.chains_run = chains;
   merged.winning_chain = static_cast<int>(winner);
@@ -110,13 +117,16 @@ GsdResult GsdSolver::solve_chain(const dc::Fleet& fleet, const SlotInput& input,
   GsdResult result;
   util::Rng rng(seed);
 
+  // The chain's incremental load-LP engine: caches the dual point and the
+  // SoA response terms across candidate solves (one context per chain keeps
+  // the cache state — and so the warm/cold span counts — deterministic at
+  // any thread count).  It emits the load_lp_warm / load_lp_cold spans.
+  LoadLpContext lp(fleet, config_.lp_policy);
+
   // Initialization (line 1): a feasible starting configuration.
   dc::Allocation kept =
       initial.value_or(all_on_max(fleet, input.lambda, weights.gamma));
-  auto kept_balance = [&] {
-    const obs::ScopedSpan lp_span("load_lp");
-    return balance_loads(fleet, kept, input, weights);
-  }();
+  auto kept_balance = lp.solve(kept, input, weights);
   ++result.evaluations;
   double kept_objective = kept_balance.outcome.objective;
 
@@ -139,10 +149,7 @@ GsdResult GsdSolver::solve_chain(const dc::Fleet& fleet, const SlotInput& input,
     if (explored_capacity >= input.lambda * (1.0 - 1e-12)) {
       // Line 3: optimal load distribution for the explored speeds.
       dc::Allocation candidate = explored;
-      const auto balanced = [&] {
-        const obs::ScopedSpan lp_span("load_lp");
-        return balance_loads(fleet, candidate, input, weights);
-      }();
+      const auto balanced = lp.solve(candidate, input, weights);
       ++result.evaluations;
       const double explored_objective = balanced.outcome.objective;
 
@@ -194,17 +201,16 @@ GsdResult GsdSolver::solve_chain(const dc::Fleet& fleet, const SlotInput& input,
     if (config_.record_trajectory) result.trajectory.push_back(kept_objective);
   }
 
-  // Line 8: return the kept configuration (we also expose the incumbent).
-  auto final_balance = [&] {
-    const obs::ScopedSpan lp_span("load_lp");
-    return balance_loads(fleet, kept, input, weights);
-  }();
+  // Line 8: return the kept configuration (we also expose the incumbent) —
+  // an exact memo hit in the engine, not a re-solve.
+  auto final_balance = lp.solve(kept, input, weights);
   result.solution.alloc = kept;
   result.solution.outcome = final_balance.outcome;
   result.solution.regime = final_balance.regime;
   result.solution.effective_price = final_balance.effective_price;
   result.solution.feasible = final_balance.feasible;
   result.best = best;
+  result.lp_stats = lp.stats();
   return result;
 }
 

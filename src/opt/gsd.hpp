@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "opt/ladder_solver.hpp"
+#include "opt/load_lp.hpp"
 #include "util/rng.hpp"
 
 namespace coca::opt {
@@ -47,6 +48,11 @@ struct GsdConfig {
   /// Worker threads for multi-chain runs: 0 = one per chain (capped at the
   /// hardware), 1 = serial.  Has no effect on the merged result.
   int threads = 0;
+  /// Exactness policy of the per-chain incremental load-LP engine.  The
+  /// default keeps every argmin bit-identical to the reference
+  /// balance_loads; kWarmStart trades a documented epsilon (see
+  /// opt/load_lp.hpp) for warm-started nu/mu bisections.
+  LoadLpPolicy lp_policy = LoadLpPolicy::kBitExact;
 };
 
 struct GsdResult {
@@ -57,6 +63,7 @@ struct GsdResult {
   int accepted = 0;                  ///< exploration acceptances
   int chains_run = 1;                ///< chains merged into this result
   int winning_chain = 0;             ///< chain that supplied solution/best
+  LoadLpStats lp_stats;              ///< load-LP engine counters (all chains)
 };
 
 class GsdSolver {

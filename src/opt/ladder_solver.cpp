@@ -148,8 +148,8 @@ dc::Allocation energy_greedy(const dc::Fleet& fleet, double lambda, double mu,
 
 SlotSolution LadderSolver::solve_linear(const dc::Fleet& fleet,
                                         const SlotInput& input,
-                                        const SlotWeights& weights,
-                                        double mu) const {
+                                        const SlotWeights& weights, double mu,
+                                        LoadLpContext& lp) const {
   SlotSolution solution;
   const double lambda = input.lambda;
   const double v_beta = weights.V * weights.beta;
@@ -157,10 +157,10 @@ SlotSolution LadderSolver::solve_linear(const dc::Fleet& fleet,
   if (mu <= kTiny) {
     // Free energy: delay-only objective; all servers on at top speed.
     solution.alloc = all_on_max(fleet, lambda, weights.gamma);
-    balance_loads_linear(fleet, solution.alloc, lambda, 0.0, weights);
+    lp.solve_linear(solution.alloc, lambda, 0.0, weights);
   } else if (v_beta <= kTiny) {
     solution.alloc = energy_greedy(fleet, lambda, mu, weights);
-    balance_loads_linear(fleet, solution.alloc, lambda, mu, weights);
+    lp.solve_linear(solution.alloc, lambda, mu, weights);
   } else {
     const auto views = make_views(fleet, weights.pue);
     // Market clearing: find the workload price at which the fleet's supply
@@ -248,13 +248,12 @@ SlotSolution LadderSolver::solve_linear(const dc::Fleet& fleet,
       solution.alloc[a.group].level = a.level;
       solution.alloc[a.group].active = servers;
     }
-    const double nu = balance_loads_linear(fleet, solution.alloc, lambda, mu,
-                                           weights);
+    const double nu = lp.solve_linear(solution.alloc, lambda, mu, weights);
     if (nu < 0.0) {
       // Rounding starved capacity (can only happen in tiny fleets): fall
       // back to the always-feasible configuration.
       solution.alloc = all_on_max(fleet, lambda, weights.gamma);
-      balance_loads_linear(fleet, solution.alloc, lambda, mu, weights);
+      lp.solve_linear(solution.alloc, lambda, mu, weights);
     }
   }
 
@@ -265,8 +264,11 @@ SlotSolution LadderSolver::solve_linear(const dc::Fleet& fleet,
 }
 
 SlotSolution LadderSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
-                                 const SlotWeights& weights) const {
+                                 const SlotWeights& weights,
+                                 LoadLpContext* lp) const {
   obs::count("ladder.solves");
+  std::optional<LoadLpContext> local;
+  if (lp == nullptr) lp = &local.emplace(fleet);
   SlotSolution solution;
   if (input.lambda <= kTiny) {
     solution.alloc = all_off(fleet);
@@ -285,13 +287,13 @@ SlotSolution LadderSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
   const double mu_full = weights.brown_price(input.price);
 
   // Regime A: optimum draws grid power.
-  solution = solve_linear(fleet, input, weights, mu_full);
+  solution = solve_linear(fleet, input, weights, mu_full, *lp);
   solution.regime = PowerRegime::kGridDraw;
   if (solution.outcome.facility_power_kw < input.onsite_kw * (1.0 - 1e-9)) {
     // Regime B: free energy below the on-site supply (only the facility-
     // power price — the peak-power extension's multiplier — remains).
     const double mu_floor = weights.power_price;
-    SlotSolution delay_min = solve_linear(fleet, input, weights, mu_floor);
+    SlotSolution delay_min = solve_linear(fleet, input, weights, mu_floor, *lp);
     if (delay_min.outcome.facility_power_kw <=
         input.onsite_kw * (1.0 + 1e-9)) {
       delay_min.regime = PowerRegime::kRenewable;
@@ -299,7 +301,7 @@ SlotSolution LadderSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
     } else {
       // Boundary: pin facility power to the on-site supply.
       auto power_gap = [&](double mu) {
-        return solve_linear(fleet, input, weights, mu)
+        return solve_linear(fleet, input, weights, mu, *lp)
                    .outcome.facility_power_kw -
                input.onsite_kw;
       };
@@ -308,7 +310,7 @@ SlotSolution LadderSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
       options.f_tol = 1e-4 * std::max(1.0, input.onsite_kw);
       options.max_iterations = 60;
       const auto boundary = util::bisect(power_gap, mu_floor, mu_full, options);
-      SlotSolution pinned = solve_linear(fleet, input, weights, boundary.x);
+      SlotSolution pinned = solve_linear(fleet, input, weights, boundary.x, *lp);
       pinned.regime = PowerRegime::kBoundary;
       // Keep whichever of the three candidates scores best on the true
       // objective (the kinked objective is what evaluate() reports).
@@ -321,15 +323,17 @@ SlotSolution LadderSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
   }
 
   for (int pass = 0; pass < config_.polish_passes; ++pass) {
-    if (!polish(fleet, input, weights, solution)) break;
+    if (!polish(fleet, input, weights, solution, *lp)) break;
   }
   return solution;
 }
 
 bool LadderSolver::polish(const dc::Fleet& fleet, const SlotInput& input,
-                          const SlotWeights& weights,
-                          SlotSolution& solution) const {
+                          const SlotWeights& weights, SlotSolution& solution,
+                          LoadLpContext& lp) const {
   bool improved = false;
+  std::vector<dc::Allocation> batch;
+  std::vector<LoadBalanceResult> balanced;
   for (std::size_t g = 0; g < fleet.group_count(); ++g) {
     const auto& group = fleet.group(g);
     const double servers = static_cast<double>(group.server_count());
@@ -338,22 +342,37 @@ bool LadderSolver::polish(const dc::Fleet& fleet, const SlotInput& input,
     const double current_active = solution.alloc[g].active;
     std::vector<double> counts = {current_active - step, current_active + step,
                                   0.0, servers};
+    // Batch-evaluate the whole (level, count) grid for this group.  Each
+    // candidate fully determines its solve (levels/counts are read, loads
+    // are overwritten), so evaluating upfront and replaying the sequential
+    // adopt/skip logic below reproduces the one-at-a-time loop bit-for-bit;
+    // mid-grid adoptions only change group g's entry, which every candidate
+    // overwrites anyway.
+    batch.clear();
     for (std::size_t k = 0; k < group.spec().level_count(); ++k) {
       for (double count : counts) {
         count = std::clamp(count, 0.0, servers);
         if (config_.integer_counts) count = std::round(count);
+        batch.push_back(solution.alloc);
+        batch.back()[g].level = k;
+        batch.back()[g].active = count;
+      }
+    }
+    lp.solve_batch(batch, input, weights, balanced);
+    std::size_t idx = 0;
+    for (std::size_t k = 0; k < group.spec().level_count(); ++k) {
+      for (double count : counts) {
+        count = std::clamp(count, 0.0, servers);
+        if (config_.integer_counts) count = std::round(count);
+        const std::size_t i = idx++;
         if (k == solution.alloc[g].level && count == current_active) continue;
-        dc::Allocation candidate = solution.alloc;
-        candidate[g].level = k;
-        candidate[g].active = count;
-        const auto balanced = balance_loads(fleet, candidate, input, weights);
-        if (balanced.feasible &&
-            balanced.outcome.objective <
+        if (balanced[i].feasible &&
+            balanced[i].outcome.objective <
                 solution.outcome.objective * (1.0 - 1e-10)) {
-          solution.alloc = candidate;
-          solution.outcome = balanced.outcome;
-          solution.regime = balanced.regime;
-          solution.effective_price = balanced.effective_price;
+          solution.alloc = batch[i];
+          solution.outcome = balanced[i].outcome;
+          solution.regime = balanced[i].regime;
+          solution.effective_price = balanced[i].effective_price;
           improved = true;
         }
       }

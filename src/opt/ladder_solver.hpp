@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "opt/load_balancer.hpp"
+#include "opt/load_lp.hpp"
 #include "opt/slot_problem.hpp"
 
 namespace coca::opt {
@@ -48,19 +49,30 @@ class LadderSolver {
 
   /// Solve P3 for one slot.  Returns an infeasible solution (objective +inf)
   /// if even the full fleet at top speed cannot serve lambda under gamma.
+  /// An optional LoadLpContext (built for the *same* fleet) carries the
+  /// load-LP caches across repeated solves — the capped solvers reuse one
+  /// across their multiplier bisections; when omitted a solve-local context
+  /// is used.  Results are bit-identical either way (kBitExact policy).
   SlotSolution solve(const dc::Fleet& fleet, const SlotInput& input,
-                     const SlotWeights& weights) const;
+                     const SlotWeights& weights,
+                     LoadLpContext* lp = nullptr) const;
 
   const LadderConfig& config() const { return config_; }
 
  private:
   /// Provision + balance with a fixed linear energy price mu (no kink).
   SlotSolution solve_linear(const dc::Fleet& fleet, const SlotInput& input,
-                            const SlotWeights& weights, double mu) const;
+                            const SlotWeights& weights, double mu,
+                            LoadLpContext& lp) const;
 
   /// One local-search polish pass; returns true if it improved the solution.
+  /// The (group, level, count-step) grid is batch-evaluated through the
+  /// context, then the sequential adopt/skip logic is replayed — candidate
+  /// solves are independent of mid-pass adoptions (balance overwrites
+  /// loads), so the result is bit-identical to solve-then-adopt.
   bool polish(const dc::Fleet& fleet, const SlotInput& input,
-              const SlotWeights& weights, SlotSolution& solution) const;
+              const SlotWeights& weights, SlotSolution& solution,
+              LoadLpContext& lp) const;
 
   LadderConfig config_;
 };

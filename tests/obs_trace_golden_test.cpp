@@ -160,11 +160,22 @@ TEST(ObsTraceGolden, SpanProfileFooterBitIdenticalAcrossThreadCounts) {
   EXPECT_NE(footer.find("\"slot\""), std::string::npos);
   EXPECT_NE(footer.find("slot/gsd_chain[3]"), std::string::npos);
   EXPECT_NE(footer.find("slot/gsd_chain[0]/sweep_iter"), std::string::npos);
-  EXPECT_NE(footer.find("slot/gsd_chain[0]/load_lp"), std::string::npos);
+  // The incremental load-LP engine classifies every solve as warm (cached
+  // dual point for this slot's input) or cold (first solve of the slot).
+  // Candidate solves inside the sweep run warm; the slot's initial solve is
+  // the one cold solve, so `sweep_iter/load_lp_cold` must never appear.
+  EXPECT_NE(footer.find("slot/gsd_chain[0]/sweep_iter/load_lp_warm"),
+            std::string::npos);
+  EXPECT_EQ(footer.find("sweep_iter/load_lp_cold"), std::string::npos);
   // Chain count per slot: one span per chain per slot, at any thread count.
+  // The initial (cold) solve rides the same invariant: exactly one per
+  // chain per slot.
   const std::string chain_span =
       "\"path\":\"slot/gsd_chain[0]\",\"count\":30";
   EXPECT_NE(footer.find(chain_span), std::string::npos) << footer;
+  const std::string cold_span =
+      "\"path\":\"slot/gsd_chain[0]/load_lp_cold\",\"count\":30";
+  EXPECT_NE(footer.find(cold_span), std::string::npos) << footer;
 #endif
 }
 

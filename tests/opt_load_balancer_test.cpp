@@ -203,6 +203,75 @@ TEST(LoadBalancerLinear, ZeroDelayWeightFillsCheapestFirst) {
   EXPECT_NEAR(alloc[1].load, 0.0, 1e-6);
 }
 
+// --- edge cases: degenerate fleets, saturated caps, exact kink point ---
+
+TEST(LoadBalancer, SingleServerFleetZeroLambda) {
+  const auto fleet = dc::make_homogeneous_fleet(1, 1);
+  auto alloc = both_on(fleet, 3, 1.0);
+  const SlotInput input{0.0, 0.0, 0.06};
+  const auto result = balance_loads(fleet, alloc, input, default_weights());
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(alloc[0].load, 0.0);
+  EXPECT_DOUBLE_EQ(result.outcome.delay_cost, 0.0);
+}
+
+TEST(LoadBalancer, SingleServerFleetCarriesEverything) {
+  const auto fleet = dc::make_homogeneous_fleet(1, 1);
+  auto alloc = both_on(fleet, 3, 1.0);
+  const double rate = fleet.group(0).spec().level(3).service_rate;
+  const SlotInput input{0.5 * rate, 0.0, 0.06};
+  const auto result = balance_loads(fleet, alloc, input, default_weights());
+  ASSERT_TRUE(result.feasible);
+  // With one server there is nothing to balance: the whole lambda lands on
+  // it and the dual price is the marginal cost at that operating point.
+  EXPECT_NEAR(alloc[0].load, 0.5 * rate, 1e-9 * rate);
+  EXPECT_GT(result.nu, 0.0);
+}
+
+TEST(LoadBalancer, GammaSaturatedClampFillsEveryCap) {
+  const auto fleet = two_group_fleet();
+  auto alloc = both_on(fleet, 3, 5.0);
+  const auto w = default_weights();
+  // Lambda exactly at the capped capacity: every server class must sit at
+  // its gamma*x clamp and the solution stays feasible.
+  const double capacity = dc::capped_capacity(fleet, alloc, w.gamma);
+  const SlotInput input{capacity, 0.0, 0.06};
+  const auto result = balance_loads(fleet, alloc, input, w);
+  ASSERT_TRUE(result.feasible);
+  for (std::size_t g = 0; g < alloc.size(); ++g) {
+    const double cap = w.gamma * fleet.group(g).spec().level(3).service_rate *
+                       alloc[g].active;
+    EXPECT_NEAR(alloc[g].load, cap, 1e-6 * cap) << "group " << g;
+  }
+  // One epsilon past the caps the problem has no feasible point.
+  auto over = both_on(fleet, 3, 5.0);
+  const SlotInput too_much{capacity * (1.0 + 1e-6), 0.0, 0.06};
+  EXPECT_FALSE(balance_loads(fleet, over, too_much, w).feasible);
+}
+
+TEST(LoadBalancer, ExactlyBalancedPowerResolvesAsGridDraw) {
+  // The [p - r]^+ kink at exactly p == r: set the on-site supply to the
+  // regime-A facility power bit-for-bit.  The regime-A acceptance test
+  // p_a >= r*(1 - 1e-9) then holds with equality, so the solver must take
+  // the kGridDraw branch (no boundary bisection) and report ~zero brown
+  // energy.
+  const auto fleet = two_group_fleet();
+  const auto w = default_weights();
+  auto probe = both_on(fleet, 3, 5.0);
+  const double nu_a =
+      balance_loads_linear(fleet, probe, 40.0, w.brown_price(0.06), w);
+  ASSERT_GE(nu_a, 0.0);
+  const double power_a = allocation_facility_kw(fleet, probe, w.pue);
+
+  auto alloc = both_on(fleet, 3, 5.0);
+  const SlotInput input{40.0, power_a, 0.06};
+  const auto result = balance_loads(fleet, alloc, input, w);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.regime, PowerRegime::kGridDraw);
+  EXPECT_EQ(result.nu, nu_a);  // same bisection bracket, same dual point
+  EXPECT_NEAR(result.outcome.brown_kwh, 0.0, 1e-6 * power_a);
+}
+
 // --- property sweep over lambda and prices ---
 
 struct BalanceCase {

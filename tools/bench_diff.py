@@ -11,7 +11,9 @@ The regression contract, mirroring src/obs/bench_report.hpp:
   or ratio-checked when --timing-factor is given: `wall_s`,
   `evals_per_sec`, and meta keys that end in `_ms`, `_s`, `_per_sec` or
   contain `speedup` / `high_water` (the pool queue high-water mark depends
-  on scheduling).
+  on scheduling).  --timing-keys REGEX narrows the ratio check to the
+  timing keys whose name matches the regex (others stay ignored), so a
+  gate can pin e.g. `speedup` ratios without tripping on raw wall times.
 * Suites, result names and meta keys must agree set-wise in both
   directions: a vanished result is as much a regression as a changed one.
   Reports must also pass structural validation (finite values, unique
@@ -20,7 +22,8 @@ The regression contract, mirroring src/obs/bench_report.hpp:
 Exit status: 0 = no drift, 1 = drift or malformed input, 2 = usage error.
 
 Usage:
-  tools/bench_diff.py <old_dir> <new_dir> [--timing-factor F] [--verbose]
+  tools/bench_diff.py <old_dir> <new_dir> [--timing-factor F]
+                      [--timing-keys REGEX] [--verbose]
   tools/bench_diff.py --self-test
 """
 
@@ -29,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import re
 import sys
 from pathlib import Path
 
@@ -94,10 +98,19 @@ def load_reports(directory: Path) -> tuple[dict[str, dict], list[str]]:
     return reports, problems
 
 
-def timing_drift(key: str, old: float, new: float, factor: float) -> str | None:
+def timing_drift(
+    key: str,
+    old: float,
+    new: float,
+    factor: float,
+    timing_re: "re.Pattern | None" = None,
+    name: str | None = None,
+) -> str | None:
     """Ratio check for a timing field; None = within tolerance."""
     if factor <= 0:  # timing ignored entirely
         return None
+    if timing_re is not None and not timing_re.search(name if name is not None else key):
+        return None  # gate narrowed to other timing keys
     if old == 0.0 and new == 0.0:
         return None
     if old <= 0.0 or new <= 0.0 or not (1.0 / factor <= new / old <= factor):
@@ -105,10 +118,14 @@ def timing_drift(key: str, old: float, new: float, factor: float) -> str | None:
     return None
 
 
-def diff_result(old: dict, new: dict, factor: float) -> list[str]:
+def diff_result(
+    old: dict, new: dict, factor: float, timing_re: "re.Pattern | None" = None
+) -> list[str]:
     drifts = []
     for field in TIMING_TOP_FIELDS:
-        drift = timing_drift(field, old.get(field, 0.0), new.get(field, 0.0), factor)
+        drift = timing_drift(
+            field, old.get(field, 0.0), new.get(field, 0.0), factor, timing_re
+        )
         if drift:
             drifts.append(drift)
     if old.get("objective") != new.get("objective"):
@@ -122,7 +139,9 @@ def diff_result(old: dict, new: dict, factor: float) -> list[str]:
         elif key not in new_meta:
             drifts.append(f"meta {key!r}: vanished (was {old_meta[key]})")
         elif is_timing_key(key):
-            drift = timing_drift(f"meta {key!r}", old_meta[key], new_meta[key], factor)
+            drift = timing_drift(
+                f"meta {key!r}", old_meta[key], new_meta[key], factor, timing_re, key
+            )
             if drift:
                 drifts.append(drift)
         elif old_meta[key] != new_meta[key]:
@@ -130,7 +149,13 @@ def diff_result(old: dict, new: dict, factor: float) -> list[str]:
     return drifts
 
 
-def diff_dirs(old_dir: Path, new_dir: Path, factor: float, verbose: bool) -> int:
+def diff_dirs(
+    old_dir: Path,
+    new_dir: Path,
+    factor: float,
+    verbose: bool,
+    timing_re: "re.Pattern | None" = None,
+) -> int:
     old_reports, problems = load_reports(old_dir)
     new_reports, new_problems = load_reports(new_dir)
     problems += new_problems
@@ -154,7 +179,9 @@ def diff_dirs(old_dir: Path, new_dir: Path, factor: float, verbose: bool) -> int
             else:
                 suite_drifts += [
                     f"result {name!r}: {d}"
-                    for d in diff_result(old_results[name], new_results[name], factor)
+                    for d in diff_result(
+                        old_results[name], new_results[name], factor, timing_re
+                    )
                 ]
         if suite_drifts:
             drift_lines += [f"suite {suite!r}: {d}" for d in suite_drifts]
@@ -199,7 +226,14 @@ def self_test() -> int:
 
     failures = []
 
-    def expect(case: str, old: list[str], new: list[str], want: int, factor: float = 0.0):
+    def expect(
+        case: str,
+        old: list[str],
+        new: list[str],
+        want: int,
+        factor: float = 0.0,
+        timing_keys: str | None = None,
+    ):
         with tempfile.TemporaryDirectory() as tmp:
             old_dir, new_dir = Path(tmp, "old"), Path(tmp, "new")
             old_dir.mkdir(), new_dir.mkdir()
@@ -207,7 +241,8 @@ def self_test() -> int:
                 (old_dir / f"BENCH_s{i}.json").write_text(text)
             for i, text in enumerate(new):
                 (new_dir / f"BENCH_s{i}.json").write_text(text)
-            got = diff_dirs(old_dir, new_dir, factor, verbose=False)
+            timing_re = re.compile(timing_keys) if timing_keys else None
+            got = diff_dirs(old_dir, new_dir, factor, verbose=False, timing_re=timing_re)
             if got != want:
                 failures.append(f"{case}: exit {got}, wanted {want}")
 
@@ -250,6 +285,37 @@ def self_test() -> int:
         [_report("a", [_result("r", solve_ms=1.0, speedup=2.0, pool_queue_high_water=3.0)])],
         [_report("a", [_result("r", solve_ms=9.0, speedup=7.0, pool_queue_high_water=1.0)])],
         0,
+    )
+    expect(
+        "timing-keys narrows the gate to matching keys",
+        [_report("a", [_result("r", wall_s=0.5, speedup=5.0)])],
+        [_report("a", [_result("r", wall_s=50.0, speedup=4.0)])],
+        0,
+        factor=2.0,
+        timing_keys="speedup",
+    )
+    expect(
+        "timing-keys still gates matching keys",
+        [_report("a", [_result("r", wall_s=0.5, speedup=5.0)])],
+        [_report("a", [_result("r", wall_s=0.5, speedup=1.0)])],
+        1,
+        factor=2.0,
+        timing_keys="speedup",
+    )
+    expect(
+        "timing-keys can gate top-level fields by name",
+        [_report("a", [_result("r", wall_s=0.5)])],
+        [_report("a", [_result("r", wall_s=50.0)])],
+        1,
+        factor=2.0,
+        timing_keys="wall_s",
+    )
+    expect(
+        "timing-keys without timing-factor stays inert",
+        [_report("a", [_result("r", speedup=5.0)])],
+        [_report("a", [_result("r", speedup=1.0)])],
+        0,
+        timing_keys="speedup",
     )
     expect("vanished result", [same], [_report("a", [])], 1)
     expect(
@@ -305,6 +371,12 @@ def main() -> int:
         help="allowed slowdown/speedup factor for timing fields "
         "(default 0 = ignore timing entirely)",
     )
+    parser.add_argument(
+        "--timing-keys",
+        metavar="REGEX",
+        help="only ratio-check timing keys matching this regex "
+        "(others stay ignored); requires --timing-factor to have any effect",
+    )
     parser.add_argument("--verbose", action="store_true", help="print ok suites")
     parser.add_argument(
         "--self-test", action="store_true", help="run the built-in test cases"
@@ -321,7 +393,14 @@ def main() -> int:
         if not directory.is_dir():
             print(f"bench_diff: not a directory: {directory}", file=sys.stderr)
             return 2
-    return diff_dirs(old_dir, new_dir, args.timing_factor, args.verbose)
+    timing_re = None
+    if args.timing_keys:
+        try:
+            timing_re = re.compile(args.timing_keys)
+        except re.error as error:
+            print(f"bench_diff: bad --timing-keys regex: {error}", file=sys.stderr)
+            return 2
+    return diff_dirs(old_dir, new_dir, args.timing_factor, args.verbose, timing_re)
 
 
 if __name__ == "__main__":

@@ -21,12 +21,18 @@ BUILD_DIR="${1:-build}"
 OUTPUT_DIR="${2:-bench/golden}"
 
 # The cheap, fully deterministic subset: each completes in seconds at the
-# pinned knobs.  The remaining benches (fig4, fig5a/b, abl_gsd, ...) hardcode
-# paper-scale granularities and stay out of the golden loop; their reports
-# are still schema-validated by bench_json_check in CI's obs-smoke job.
+# pinned knobs (the figure benches all honour COCA_BENCH_HOURS/GROUPS, so
+# paper-scale granularity stays opt-in).  Benches left out of the golden
+# loop (abl_gsd, abl_gamma, ...) are still schema-validated by
+# bench_json_check in CI's obs-smoke job.
 BENCHES=(
   fig1_traces
   fig2_impact_of_v
+  fig3_vs_perfecthp
+  fig4_gsd
+  fig5a_budget_fiu
+  fig5b_budget_msr
+  fig5c_overestimation
   fig5d_switching
   abl_portfolio
   abl_recs
