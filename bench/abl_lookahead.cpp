@@ -54,7 +54,7 @@ int main() {
     std::size_t missed = 0;
     for (bool met : result.frame_budget_met) missed += !met;
     const double oracle_avg =
-        result.total_cost / static_cast<double>(scenario.env.slots());
+        result.total_cost.value() / static_cast<double>(scenario.env.slots());
     table.add_row({static_cast<double>(windows[i]),
                    static_cast<double>(result.frame_costs.size()), oracle_avg,
                    coca_avg / oracle_avg, static_cast<double>(missed)});
@@ -67,7 +67,7 @@ int main() {
       std::size_t missed = 0;
       for (bool met : result.frame_budget_met) missed += !met;
       const double oracle_avg =
-          result.total_cost / static_cast<double>(scenario.env.slots());
+          result.total_cost.value() / static_cast<double>(scenario.env.slots());
       obs::BenchResult entry;
       entry.name = "lookahead_" + std::to_string(i);
       entry.objective = oracle_avg;

@@ -70,7 +70,7 @@ inline void run_budget_sweep(const std::string& suite,
 
     return BudgetPoint{
         coca.metrics.average_cost() / unaware_cost,
-        opt_schedule.total_cost /
+        opt_schedule.total_cost.value() /
             static_cast<double>(scenario.env.slots()) / unaware_cost,
         budget.satisfied(coca.metrics.brown_series(), 1e-6), v_star.v,
         coca.metrics.total_brown_kwh() / unaware_usage};

@@ -135,8 +135,8 @@ int main(int argc, char** argv) {
       perfect_hp.metrics.total_delay_cost(),
       perfect_hp.metrics.total_brown_kwh());
   add("OPT (offline)",
-      opt.total_cost / static_cast<double>(config.hours),
-      0.0, 0.0, opt.total_brown_kwh);
+      opt.total_cost.value() / static_cast<double>(config.hours),
+      0.0, 0.0, opt.total_brown_kwh.value());
   summary.print(std::cout);
 
   // Month-by-month view of the COCA run.
@@ -149,8 +149,8 @@ int main(int argc, char** argv) {
     double cost = 0.0, brown = 0.0, allowance = 0.0, active = 0.0;
     for (std::size_t t = start; t < end; ++t) {
       const auto& slot = coca.metrics.slots()[t];
-      cost += slot.total_cost;
-      brown += slot.brown_kwh;
+      cost += slot.total_cost.value();
+      brown += slot.brown_kwh.value();
       allowance += scenario.budget.slot_allowance(t);
       active += slot.active_servers;
     }

@@ -52,9 +52,11 @@ LookaheadResult solve_lookahead(const dc::Fleet& fleet,
         fleet, lambda.subspan(start, len), onsite_kw.subspan(start, len),
         price.subspan(start, len), weights, frame_allowance, config);
 
-    result.frame_costs.push_back(schedule.total_cost /
-                                 static_cast<double>(len));
-    result.frame_brown_kwh.push_back(schedule.total_brown_kwh);
+    const double frame_cost =
+        schedule.total_cost.value();  // UNITS: G_r^* series ($/slot, plotting)
+    result.frame_costs.push_back(frame_cost / static_cast<double>(len));
+    result.frame_brown_kwh.push_back(
+        schedule.total_brown_kwh.value());  // UNITS: kWh series (plotting)
     result.frame_budget_met.push_back(schedule.budget_met);
     result.total_cost += schedule.total_cost;
     result.total_brown_kwh += schedule.total_brown_kwh;

@@ -19,8 +19,8 @@ struct LookaheadResult {
   std::vector<double> frame_costs;        ///< G_r^* (average cost per slot)
   std::vector<double> frame_brown_kwh;    ///< frame brown energy
   std::vector<bool> frame_budget_met;
-  double total_cost = 0.0;
-  double total_brown_kwh = 0.0;
+  units::Usd total_cost;
+  units::KiloWattHours total_brown_kwh;
 
   /// Theorem 2's benchmark: (1/R) sum_r G_r^*.
   double benchmark_average_cost() const;

@@ -26,8 +26,9 @@ OfflineSchedule solve_with_multiplier(const dc::Fleet& fleet,
   for (std::size_t t = 0; t < lambda.size(); ++t) {
     const opt::SlotInput input{lambda[t], onsite_kw[t], price[t]};
     const auto solution = solver.solve(fleet, input, w);
-    schedule.total_cost += solution.outcome.total_cost;
-    schedule.total_brown_kwh += solution.outcome.brown_kwh;
+    // Lift the solver's raw-double outcome into the dimensioned tallies.
+    schedule.total_cost += units::usd(solution.outcome.total_cost);
+    schedule.total_brown_kwh += units::kwh(solution.outcome.brown_kwh);
     schedule.outcomes.push_back(solution.outcome);
   }
   return schedule;
@@ -40,11 +41,15 @@ OfflineSchedule solve_offline_opt(const dc::Fleet& fleet,
                                   const opt::SlotWeights& weights,
                                   double allowance_kwh,
                                   const OfflineOptConfig& config) {
+  // The allowance enters the typed layer once; every comparison below is
+  // kWh-vs-kWh by type.
+  const units::KiloWattHours allowance = units::kwh(allowance_kwh);
+
   // mu = 0: the unconstrained cost minimizer.  If it meets the budget,
   // complementary slackness says it is optimal.
   OfflineSchedule best = solve_with_multiplier(fleet, lambda, onsite_kw, price,
                                                weights, 0.0, config.ladder);
-  if (best.total_brown_kwh <= allowance_kwh * (1.0 + 1e-9)) {
+  if (best.total_brown_kwh <= allowance * (1.0 + 1e-9)) {
     best.budget_met = true;
     return best;
   }
@@ -60,13 +65,13 @@ OfflineSchedule solve_offline_opt(const dc::Fleet& fleet,
     at_hi = solve_with_multiplier(fleet, lambda, onsite_kw, price, weights, hi,
                                   config.ladder);
     ++runs;
-    if (at_hi.total_brown_kwh <= allowance_kwh || hi > 1e12 ||
+    if (at_hi.total_brown_kwh <= allowance || hi > 1e12 ||
         runs >= config.max_bisection_runs) {
       break;
     }
     hi *= 4.0;
   }
-  if (at_hi.total_brown_kwh > allowance_kwh) {
+  if (at_hi.total_brown_kwh > allowance) {
     // Even an enormous energy price cannot meet the allowance (the workload
     // physically requires more brown energy): return the frugal schedule.
     at_hi.budget_met = false;
@@ -82,11 +87,11 @@ OfflineSchedule solve_offline_opt(const dc::Fleet& fleet,
     OfflineSchedule at_mid = solve_with_multiplier(
         fleet, lambda, onsite_kw, price, weights, mid, config.ladder);
     ++runs;
-    if (at_mid.total_brown_kwh <= allowance_kwh) {
+    if (at_mid.total_brown_kwh <= allowance) {
       best_feasible = at_mid;
       hi = mid;
       if (at_mid.total_brown_kwh >=
-          allowance_kwh * (1.0 - config.usage_rel_tol)) {
+          allowance * (1.0 - config.usage_rel_tol)) {
         break;  // within tolerance of exhausting the budget
       }
     } else {

@@ -14,13 +14,14 @@
 #include <vector>
 
 #include "opt/ladder_solver.hpp"
+#include "util/units.hpp"
 
 namespace coca::baselines {
 
 struct OfflineSchedule {
-  double multiplier = 0.0;        ///< dual price on the annual budget
-  double total_cost = 0.0;        ///< annual cost at the schedule
-  double total_brown_kwh = 0.0;   ///< annual brown energy
+  double multiplier = 0.0;            ///< dual price on the annual budget
+  units::Usd total_cost;              ///< annual cost at the schedule
+  units::KiloWattHours total_brown_kwh;  ///< annual brown energy
   bool budget_met = false;
   std::vector<opt::SlotOutcome> outcomes;  ///< per-slot breakdown
 };

@@ -40,6 +40,7 @@ class SlotController {
   /// Feedback after the slot: the billed outcome (brown energy may include
   /// switching energy and reflects the *actual* workload) and the realized
   /// off-site renewable energy f(t) in kWh.
+  // OBS-EXEMPT(default no-op hook; stateful controllers override and span)
   virtual void observe(std::size_t t, const opt::SlotOutcome& billed,
                        double offsite_kwh) {
     (void)t;

@@ -7,8 +7,8 @@ namespace coca::core {
 units::KiloWattHours CarbonDeficitQueue::update(
     units::KiloWattHours brown, units::KiloWattHours offsite, double alpha,
     units::KiloWattHours rec_per_slot) {
-  if (brown.value() < 0.0 || offsite.value() < 0.0 ||
-      rec_per_slot.value() < 0.0) {
+  if (brown.value() < 0.0 || offsite.value() < 0.0 ||  // UNITS: sign check
+      rec_per_slot.value() < 0.0) {  // UNITS: sign check on raw magnitude
     throw std::invalid_argument("CarbonDeficitQueue::update: negative input");
   }
   if (alpha <= 0.0) {
@@ -19,7 +19,7 @@ units::KiloWattHours CarbonDeficitQueue::update(
   // budget is alpha*(F + Z)); callers pass raw kWh.
   const units::KiloWattHours next = units::positive_part(
       deficit() + brown - alpha * (offsite + rec_per_slot));
-  q_ = next.value();
+  q_ = next.value();  // UNITS: q(t) is the raw Lyapunov shadow price
   history_.push_back(q_);
   return next;
 }

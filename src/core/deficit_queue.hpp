@@ -49,7 +49,7 @@ class CarbonDeficitQueue {
     return update(units::KiloWattHours{brown_kwh},
                   units::KiloWattHours{offsite_kwh}, alpha,
                   units::KiloWattHours{rec_per_slot})
-        .value();
+        .value();  // UNITS: documented raw-double delegate
   }
 
   /// Frame reset (Algorithm 1 lines 2-4).

@@ -49,7 +49,7 @@ double DynamicRecCocaController::purchase_decision(std::size_t t,
   // Never buy more than the queue can absorb (the extra would be clamped
   // away by the [.]^+ in Eq. 17 and the money wasted).
   amount = units::min(amount, units::KiloWattHours{queue_length} / config_.alpha);
-  return units::positive_part(amount).value();
+  return units::positive_part(amount).value();  // UNITS: raw kWh to ledger
 }
 
 void DynamicRecCocaController::observe(std::size_t t,
@@ -74,7 +74,7 @@ void DynamicRecCocaController::observe(std::size_t t,
     // kWh * $/kWh -> $, dimension-checked.
     const units::Usd cost = units::KiloWattHours{bought} *
                             units::UsdPerKwh{market_.spot_price[t]};
-    spend_ += cost.value();
+    spend_ += cost.value();  // UNITS: cumulative spend reported raw ($)
     // Purchases flow through Eq. 17's REC channel z(t) — unscaled kWh, the
     // queue applies alpha — so b kWh bought drops q by exactly alpha*b
     // (pinned by RecConventionEndToEnd in core_rec_policy_test).

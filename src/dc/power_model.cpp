@@ -46,7 +46,7 @@ double electricity_cost(double price_per_kwh, double facility_kw,
                           units::KiloWatts{facility_kw},
                           units::KiloWatts{onsite_kw},
                           units::Hours{slot_hours})
-      .value();
+      .value();  // UNITS: documented raw-double delegate
 }
 
 units::KiloWatts it_power(const Fleet& fleet, const Allocation& alloc) {
@@ -60,7 +60,7 @@ units::KiloWatts facility_power(const Fleet& fleet, const Allocation& alloc,
 
 units::Usd electricity_cost(units::UsdPerKwh price, units::KiloWatts facility,
                             units::KiloWatts onsite, units::Hours slot) {
-  if (price.value() < 0.0 || slot.value() <= 0.0) {
+  if (price.value() < 0.0 || slot.value() <= 0.0) {  // UNITS: sign check
     throw std::invalid_argument("electricity_cost: bad price/slot length");
   }
   // Eq. 3: kW * h -> kWh, then kWh * $/kWh -> $ — checked by the type system.

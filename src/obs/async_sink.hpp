@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace coca::obs {
 
@@ -105,14 +106,16 @@ class AsyncTraceSink final : public TraceSink {
   mutable std::mutex mutex_;
   std::condition_variable ring_filled_;   ///< signals the writer
   std::condition_variable ring_drained_;  ///< signals blocked producer/flush
-  std::vector<std::string> ring_;         ///< fixed-capacity circular buffer
-  std::size_t head_ = 0;                  ///< next line the writer takes
-  std::size_t size_ = 0;                  ///< occupied slots
-  std::size_t high_water_ = 0;
-  std::int64_t dropped_ = 0;
-  bool writer_busy_ = false;  ///< a line is being written outside the lock
-  bool stopping_ = false;
-  std::string footer_;
+  /// Fixed-capacity circular buffer of rendered lines.
+  std::vector<std::string> ring_ GUARDED_BY(mutex_);
+  std::size_t head_ GUARDED_BY(mutex_) = 0;  ///< next line the writer takes
+  std::size_t size_ GUARDED_BY(mutex_) = 0;  ///< occupied slots
+  std::size_t high_water_ GUARDED_BY(mutex_) = 0;
+  std::int64_t dropped_ GUARDED_BY(mutex_) = 0;
+  /// A line is being written outside the lock.
+  bool writer_busy_ GUARDED_BY(mutex_) = false;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  std::string footer_ GUARDED_BY(mutex_);
   std::thread writer_;
 };
 

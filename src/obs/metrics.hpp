@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "obs/clock.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace coca::obs {
 
@@ -83,7 +84,7 @@ class Histogram {
 
  private:
   mutable std::mutex mutex_;
-  HistogramSnapshot data_;
+  HistogramSnapshot data_ GUARDED_BY(mutex_);
 };
 
 class Registry {
@@ -104,9 +105,12 @@ class Registry {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 /// Process-global sink; null (all helpers no-op) until set_global installs

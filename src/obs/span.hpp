@@ -30,6 +30,7 @@
 #include <string_view>
 
 #include "obs/clock.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace coca::obs {
 
@@ -62,7 +63,7 @@ class SpanProfiler {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, SpanStats> spans_;
+  std::map<std::string, SpanStats> spans_ GUARDED_BY(mutex_);
 };
 
 /// Process-global profiler; null (spans are no-ops) until installed.

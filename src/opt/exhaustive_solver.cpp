@@ -17,6 +17,7 @@ std::size_t ExhaustiveSolver::configuration_count(const dc::Fleet& fleet) {
   return total;
 }
 
+// OBS-EXEMPT(test-only brute-force oracle, never on a production slot path)
 SlotSolution ExhaustiveSolver::solve(const dc::Fleet& fleet,
                                      const SlotInput& input,
                                      const SlotWeights& weights) const {

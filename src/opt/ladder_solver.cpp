@@ -263,6 +263,8 @@ SlotSolution LadderSolver::solve_linear(const dc::Fleet& fleet,
   return solution;
 }
 
+// OBS-EXEMPT(callers open the "ladder_solve" span for this stage)
+// Opening one here too would change the pinned span goldens.
 SlotSolution LadderSolver::solve(const dc::Fleet& fleet, const SlotInput& input,
                                  const SlotWeights& weights,
                                  LoadLpContext* lp) const {

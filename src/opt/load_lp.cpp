@@ -1098,6 +1098,9 @@ LoadBalanceResult LoadLpContext::solve(dc::Allocation& alloc,
   return result;
 }
 
+// OBS-EXEMPT(pure delegation; every inner solve opens its own span)
+// Each solve() below emits load_lp_warm/load_lp_cold, which is the
+// granularity the span profile pins.
 void LoadLpContext::solve_batch(std::vector<dc::Allocation>& candidates,
                                 const SlotInput& input,
                                 const SlotWeights& weights,

@@ -4,46 +4,50 @@
 
 namespace coca::sim {
 
+// The aggregate accessors are the tree's reporting boundary: sums are
+// accumulated in the dimensioned types (so a kWh can never leak into a $
+// total) and unwrapped exactly once, at the return.
+
 double Metrics::total_cost() const {
-  double sum = 0.0;
+  units::Usd sum;
   for (const auto& s : slots_) sum += s.total_cost + s.rec_cost;
-  return sum;
+  return sum.value();  // UNITS: reporting boundary — figures/tests read $
 }
 
 double Metrics::total_ops_cost() const {
-  double sum = 0.0;
+  units::Usd sum;
   for (const auto& s : slots_) sum += s.total_cost;
-  return sum;
+  return sum.value();  // UNITS: reporting boundary — figures/tests read $
 }
 
 double Metrics::total_rec_cost() const {
-  double sum = 0.0;
+  units::Usd sum;
   for (const auto& s : slots_) sum += s.rec_cost;
-  return sum;
+  return sum.value();  // UNITS: reporting boundary — figures/tests read $
 }
 
 double Metrics::total_brown_kwh() const {
-  double sum = 0.0;
+  units::KiloWattHours sum;
   for (const auto& s : slots_) sum += s.brown_kwh;
-  return sum;
+  return sum.value();  // UNITS: reporting boundary — figures/tests read kWh
 }
 
 double Metrics::total_electricity_cost() const {
-  double sum = 0.0;
+  units::Usd sum;
   for (const auto& s : slots_) sum += s.electricity_cost;
-  return sum;
+  return sum.value();  // UNITS: reporting boundary — figures/tests read $
 }
 
 double Metrics::total_delay_cost() const {
-  double sum = 0.0;
+  units::Usd sum;
   for (const auto& s : slots_) sum += s.delay_cost;
-  return sum;
+  return sum.value();  // UNITS: reporting boundary — figures/tests read $
 }
 
 double Metrics::total_switching_kwh() const {
-  double sum = 0.0;
+  units::KiloWattHours sum;
   for (const auto& s : slots_) sum += s.switching_kwh;
-  return sum;
+  return sum.value();  // UNITS: reporting boundary — figures/tests read kWh
 }
 
 double Metrics::average_cost() const {
@@ -59,14 +63,18 @@ double Metrics::average_brown_kwh() const {
 std::vector<double> Metrics::cost_series() const {
   std::vector<double> out;
   out.reserve(slots_.size());
-  for (const auto& s : slots_) out.push_back(s.total_cost);
+  for (const auto& s : slots_) {
+    out.push_back(s.total_cost.value());  // UNITS: plotting series ($/slot)
+  }
   return out;
 }
 
 std::vector<double> Metrics::brown_series() const {
   std::vector<double> out;
   out.reserve(slots_.size());
-  for (const auto& s : slots_) out.push_back(s.brown_kwh);
+  for (const auto& s : slots_) {
+    out.push_back(s.brown_kwh.value());  // UNITS: plotting series (kWh/slot)
+  }
   return out;
 }
 
@@ -80,7 +88,9 @@ std::vector<double> Metrics::queue_series() const {
 std::vector<double> Metrics::delay_cost_series() const {
   std::vector<double> out;
   out.reserve(slots_.size());
-  for (const auto& s : slots_) out.push_back(s.delay_cost);
+  for (const auto& s : slots_) {
+    out.push_back(s.delay_cost.value());  // UNITS: plotting series ($/slot)
+  }
   return out;
 }
 

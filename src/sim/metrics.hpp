@@ -7,22 +7,28 @@
 #include <vector>
 
 #include "energy/budget.hpp"
+#include "util/units.hpp"
 
 namespace coca::sim {
 
+/// Dimensioned fields carry their units in the type (util/units.hpp): a
+/// record can only be filled by explicitly lifting the solver's raw doubles,
+/// and the aggregate accessors below are the sanctioned raw-double reporting
+/// boundary.  queue_length stays raw by design — q(t) is the unit-bridging
+/// Lyapunov shadow price, solver math rather than physics.
 struct SlotRecord {
-  double lambda = 0.0;            ///< actual workload served (req/s)
-  double it_power_kw = 0.0;
-  double facility_power_kw = 0.0;
-  double brown_kwh = 0.0;         ///< y(t), including switching energy
-  double electricity_cost = 0.0;  ///< $
-  double delay_cost = 0.0;        ///< $
-  double total_cost = 0.0;        ///< g(t) = electricity + delay, $
-  double rec_cost = 0.0;          ///< dynamic REC spend billed this slot, $
-  double queue_length = 0.0;      ///< carbon-deficit queue after the slot
+  units::RequestsPerSec lambda;     ///< actual workload served
+  units::KiloWatts it_power_kw;
+  units::KiloWatts facility_power_kw;
+  units::KiloWattHours brown_kwh;   ///< y(t), including switching energy
+  units::Usd electricity_cost;
+  units::Usd delay_cost;
+  units::Usd total_cost;            ///< g(t) = electricity + delay
+  units::Usd rec_cost;              ///< dynamic REC spend billed this slot
+  double queue_length = 0.0;        ///< carbon-deficit queue after the slot
   double active_servers = 0.0;
-  double toggles = 0.0;           ///< on/off transitions this slot
-  double switching_kwh = 0.0;
+  double toggles = 0.0;             ///< on/off transitions this slot
+  units::KiloWattHours switching_kwh;
 };
 
 class Metrics {

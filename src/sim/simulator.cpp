@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "opt/load_balancer.hpp"
+#include "util/units.hpp"
 
 namespace coca::sim {
 
@@ -103,19 +104,21 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
     const double rec_cost = diag.rec_spend_total - rec_spend_before;
     rec_spend_before = diag.rec_spend_total;
 
+    // Lift the solver's raw-double outcome into the dimensioned record: the
+    // one place per slot where billing doubles acquire their units.
     SlotRecord record;
-    record.lambda = env.workload[t];
-    record.it_power_kw = billed.it_power_kw;
-    record.facility_power_kw = billed.facility_power_kw;
-    record.brown_kwh = billed.brown_kwh;
-    record.electricity_cost = billed.electricity_cost;
-    record.delay_cost = billed.delay_cost;
-    record.total_cost = billed.total_cost;
-    record.rec_cost = rec_cost;
+    record.lambda = units::rps(env.workload[t]);
+    record.it_power_kw = units::kw(billed.it_power_kw);
+    record.facility_power_kw = units::kw(billed.facility_power_kw);
+    record.brown_kwh = units::kwh(billed.brown_kwh);
+    record.electricity_cost = units::usd(billed.electricity_cost);
+    record.delay_cost = units::usd(billed.delay_cost);
+    record.total_cost = units::usd(billed.total_cost);
+    record.rec_cost = units::usd(rec_cost);
     record.queue_length = diag.queue_length;
     record.active_servers = dc::total_active_servers(executed);
     record.toggles = toggles;
-    record.switching_kwh = switch_kwh;
+    record.switching_kwh = units::kwh(switch_kwh);
     result.metrics.record(record);
 
     if (options.trace != nullptr) {

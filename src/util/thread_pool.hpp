@@ -31,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace coca::util {
 
 class ThreadPool {
@@ -98,13 +100,13 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t queue_high_water_ = 0;  ///< deepest queue_ seen (under mutex_)
   mutable std::mutex mutex_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  std::size_t queue_high_water_ GUARDED_BY(mutex_) = 0;  ///< deepest queue_
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;  ///< queued + currently executing
-  bool stopping_ = false;
+  std::size_t in_flight_ GUARDED_BY(mutex_) = 0;  ///< queued + executing
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace coca::util

@@ -101,8 +101,8 @@ TEST(OfflineOpt, MeetsTightBudget) {
       scenario.fleet, env.workload.values(), env.onsite_kw.values(),
       env.price.values(), scenario.weights, allowance);
   ASSERT_TRUE(schedule.budget_met);
-  EXPECT_LE(schedule.total_brown_kwh, allowance * (1.0 + 1e-9));
-  EXPECT_GE(schedule.total_brown_kwh, allowance * 0.9);
+  EXPECT_LE(schedule.total_brown_kwh.value(), allowance * (1.0 + 1e-9));
+  EXPECT_GE(schedule.total_brown_kwh.value(), allowance * 0.9);
   EXPECT_GT(schedule.multiplier, 0.0);
 }
 
@@ -117,8 +117,8 @@ TEST(OfflineOpt, CostIncreasesAsBudgetTightens) {
     const auto schedule = solve_offline_opt(
         scenario.fleet, env.workload.values(), env.onsite_kw.values(),
         env.price.values(), scenario.weights, unaware * fraction);
-    EXPECT_GE(schedule.total_cost, prev_cost * (1.0 - 1e-6)) << fraction;
-    prev_cost = schedule.total_cost;
+    EXPECT_GE(schedule.total_cost.value(), prev_cost * (1.0 - 1e-6)) << fraction;
+    prev_cost = schedule.total_cost.value();
   }
 }
 
@@ -132,7 +132,7 @@ TEST(OfflineOpt, LowerBoundsCocaAtSameBudget) {
       scenario.fleet, env.workload.values(), env.onsite_kw.values(),
       env.price.values(), scenario.weights, coca.metrics.total_brown_kwh());
   ASSERT_TRUE(opt_schedule.budget_met);
-  EXPECT_LE(opt_schedule.total_cost,
+  EXPECT_LE(opt_schedule.total_cost.value(),
             coca.metrics.total_cost() * (1.0 + 0.01));
 }
 
@@ -155,7 +155,7 @@ TEST(Lookahead, FrameDecompositionCoversHorizon) {
   EXPECT_EQ(result.frame_length, 100u);
   double total = 0.0;
   for (double c : result.frame_costs) total += c * 100.0;
-  EXPECT_NEAR(total, result.total_cost, 1e-6 * total);
+  EXPECT_NEAR(total, result.total_cost.value(), 1e-6 * total);
 }
 
 TEST(Lookahead, RaggedFinalFrameHandled) {

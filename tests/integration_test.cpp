@@ -76,8 +76,9 @@ TEST_F(EndToEnd, OptLowerBoundsEveryController) {
                                     s.budget);
   const auto perfect_hp = sim::run_simulation(s.fleet, s.env, hp, s.weights);
 
-  EXPECT_LE(opt.total_cost, coca.metrics.total_cost() * (1.0 + 0.01));
-  EXPECT_LE(opt.total_cost, perfect_hp.metrics.total_cost() * (1.0 + 0.01));
+  EXPECT_LE(opt.total_cost.value(), coca.metrics.total_cost() * (1.0 + 0.01));
+  EXPECT_LE(opt.total_cost.value(),
+            perfect_hp.metrics.total_cost() * (1.0 + 0.01));
 }
 
 TEST_F(EndToEnd, CocaWithinTheoremStyleGapOfLookahead) {
@@ -89,7 +90,7 @@ TEST_F(EndToEnd, CocaWithinTheoremStyleGapOfLookahead) {
       s.fleet, s.env.workload.values(), s.env.onsite_kw.values(),
       s.env.price.values(), s.budget, s.weights, 240);
   const auto coca = sim::run_coca_constant_v(s, 100.0);
-  const double benchmark = lookahead.total_cost;
+  const double benchmark = lookahead.total_cost.value();
   EXPECT_LE(coca.metrics.total_cost(), benchmark * 1.5);
   EXPECT_GE(coca.metrics.total_cost(), benchmark * (1.0 - 0.01));
 }
@@ -121,9 +122,9 @@ TEST_F(EndToEnd, QuarterlyVScheduleTradesCostForCarbonAcrossFrames) {
   double first_half_brown = 0.0, second_half_brown = 0.0;
   for (std::size_t t = 0; t < 720; ++t) {
     (t < 360 ? first_half_cost : second_half_cost) +=
-        result.metrics.slots()[t].total_cost;
+        result.metrics.slots()[t].total_cost.value();
     (t < 360 ? first_half_brown : second_half_brown) +=
-        result.metrics.slots()[t].brown_kwh;
+        result.metrics.slots()[t].brown_kwh.value();
   }
   EXPECT_GT(second_half_brown, first_half_brown);
   // Per-unit-workload cost falls in the second half; workloads are similar

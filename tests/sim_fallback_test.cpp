@@ -86,7 +86,7 @@ TEST(SimulatorFallback, UnderestimateTriggersProportionateExpansion) {
   EXPECT_GT(result.infeasible_slots, 0u);
   // Every slot was billed (served the actual workload).
   for (const auto& slot : result.metrics.slots()) {
-    ASSERT_GT(slot.total_cost, 0.0);
+    ASSERT_GT(slot.total_cost.value(), 0.0);
   }
   // Proportionate response: the average active count stays well below the
   // full fleet.

@@ -46,10 +46,10 @@ TEST(Metrics, AccountingIdentities) {
   Metrics m;
   for (int i = 0; i < 3; ++i) {
     SlotRecord r;
-    r.electricity_cost = 10.0 * (i + 1);
-    r.delay_cost = 1.0;
+    r.electricity_cost = units::usd(10.0 * (i + 1));
+    r.delay_cost = units::usd(1.0);
     r.total_cost = r.electricity_cost + r.delay_cost;
-    r.brown_kwh = 100.0;
+    r.brown_kwh = units::kwh(100.0);
     m.record(r);
   }
   EXPECT_DOUBLE_EQ(m.total_cost(), 63.0);

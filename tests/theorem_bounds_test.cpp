@@ -35,7 +35,7 @@ TEST(Theorem2, CostGapToLookaheadShrinksAsVGrows) {
   const auto lookahead = baselines::solve_lookahead(
       s.fleet, s.env.workload.values(), s.env.onsite_kw.values(),
       s.env.price.values(), s.budget, s.weights, 600);
-  const double benchmark = lookahead.total_cost;
+  const double benchmark = lookahead.total_cost.value();
 
   std::vector<double> gaps;
   for (double v : {1e2, 1e4, 1e6, 1e8}) {
@@ -90,7 +90,7 @@ TEST(Theorem2, TelescopingInequalityHoldsOnRealRun) {
   for (std::size_t frame = 0; frame < 4; ++frame) {
     double usage = 0.0, allowance = 0.0;
     for (std::size_t t = frame * 150; t < (frame + 1) * 150; ++t) {
-      usage += slots[t].brown_kwh;
+      usage += slots[t].brown_kwh.value();
       allowance += s.budget.slot_allowance(t);
     }
     const double q_end = slots[(frame + 1) * 150 - 1].queue_length;
@@ -109,7 +109,7 @@ TEST(Theorem2, ZeroQueueImpliesNeutralitySoFar) {
   double usage = 0.0, allowance = 0.0;
   std::size_t checked = 0;
   for (std::size_t t = 0; t < slots.size(); ++t) {
-    usage += slots[t].brown_kwh;
+    usage += slots[t].brown_kwh.value();
     allowance += s.budget.slot_allowance(t);
     if (slots[t].queue_length <= 1e-9) {
       EXPECT_LE(usage, allowance + 1e-6) << "slot " << t;

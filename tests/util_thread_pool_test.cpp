@@ -150,6 +150,49 @@ TEST(ThreadPool, QueueHighWaterTracksDeepestBacklog) {
 #endif
 }
 
+TEST(ThreadPool, QueueHighWaterIsMonotoneUnderContention) {
+  ThreadPool pool(2);
+  // A sampler thread reads queue_high_water() continuously while producer
+  // threads hammer the queue from outside: every consecutive pair of reads
+  // must be non-decreasing — the mark may only ratchet up, never reset,
+  // even while the workers are draining the queue underneath it.
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> violations{0};
+  std::thread sampler([&pool, &done, &violations] {
+    std::size_t last = 0;
+    while (!done.load()) {
+      const std::size_t now = pool.queue_high_water();
+      if (now < last) ++violations;
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+  constexpr int kProducers = 4;
+  constexpr int kTasksEach = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.submit([] {
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        });
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  pool.wait();
+  const std::size_t after_drain = pool.queue_high_water();
+  done.store(true);
+  sampler.join();
+  EXPECT_EQ(violations.load(), 0u);
+  // 800 sleeping tasks against 2 workers guarantee a real backlog formed.
+  EXPECT_GT(after_drain, 0u);
+  // Further submit/wait cycles on the drained pool must not lower the mark.
+  pool.submit([] {}).get();
+  pool.wait();
+  EXPECT_GE(pool.queue_high_water(), after_drain);
+}
+
 TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately) {
   ThreadPool pool(2);
   pool.wait();  // nothing submitted: must not block

@@ -5,10 +5,13 @@
 #   tools/run_clang_tidy.sh                 # whole src/ tree
 #   tools/run_clang_tidy.sh src/opt/gsd.cpp # specific files
 #
-# Needs clang-tidy on PATH and a compile_commands.json; the `review` preset
-# produces one (cmake --preset review).  Exits 0 with a notice when
-# clang-tidy is unavailable so callers (CI optional steps, dev boxes with a
-# gcc-only toolchain) degrade gracefully instead of failing the build.
+# Needs clang-tidy >= 15 on PATH and a compile_commands.json; the `review`
+# preset produces one (cmake --preset review).  Exits 0 with a notice when a
+# suitable clang-tidy is unavailable so callers (CI optional steps, dev boxes
+# with a gcc-only toolchain) degrade gracefully instead of failing the build.
+# When clang-tidy >= 15 IS present, any finding exits non-zero — clang-tidy
+# itself reports warnings with a zero exit, so this script enforces the gate
+# via --warnings-as-errors over the already-curated .clang-tidy check set.
 
 set -euo pipefail
 
@@ -17,6 +20,13 @@ repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "run_clang_tidy: clang-tidy not found on PATH — skipping (install" \
        "clang-tidy >= 15 to run the static-analysis profile)"
+  exit 0
+fi
+
+tidy_major="$(clang-tidy --version | sed -n 's/.*version \([0-9][0-9]*\).*/\1/p' | head -n1)"
+if [[ -z "$tidy_major" || "$tidy_major" -lt 15 ]]; then
+  echo "run_clang_tidy: clang-tidy ${tidy_major:-unknown} < 15 — skipping" \
+       "(the curated .clang-tidy profile targets clang-tidy >= 15)"
   exit 0
 fi
 
@@ -40,6 +50,12 @@ else
   mapfile -t files < <(find "$repo/src" -name '*.cpp' | sort)
 fi
 
-echo "run_clang_tidy: ${#files[@]} file(s), compile db: $build_dir"
-clang-tidy -p "$build_dir" --quiet "${files[@]}"
+echo "run_clang_tidy: clang-tidy $tidy_major, ${#files[@]} file(s)," \
+     "compile db: $build_dir"
+# --warnings-as-errors='*' promotes every enabled check so findings flip the
+# exit code; which checks run stays governed by .clang-tidy alone.
+if ! clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' "${files[@]}"; then
+  echo "run_clang_tidy: findings above — fix them or adjust .clang-tidy" >&2
+  exit 1
+fi
 echo "run_clang_tidy: clean"
