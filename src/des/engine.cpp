@@ -1,5 +1,6 @@
 #include "des/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -10,17 +11,36 @@ Engine::EventId Engine::schedule(double time, Callback fn) {
     throw std::invalid_argument("Engine::schedule: time in the past");
   }
   const EventId id = next_id_++;
-  queue_.push({time, next_sequence_++, id});
+  heap_.push_back({time, next_sequence_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<QueuedEvent>());
   callbacks_.emplace(id, std::move(fn));
   return id;
 }
 
-bool Engine::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool Engine::cancel(EventId id) {
+  if (callbacks_.erase(id) == 0) return false;
+  // Lazy cancellation leaves a tombstone in the heap; compact once the dead
+  // entries outnumber the live ones so heavy cancel/reschedule traffic (one
+  // per PsQueue arrival) cannot grow the heap unboundedly.
+  if (tombstones() > callbacks_.size()) compact();
+  return true;
+}
+
+void Engine::compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const QueuedEvent& event) {
+                               return callbacks_.find(event.id) ==
+                                      callbacks_.end();
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<QueuedEvent>());
+}
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    const QueuedEvent event = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    const QueuedEvent event = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<QueuedEvent>());
+    heap_.pop_back();
     auto it = callbacks_.find(event.id);
     if (it == callbacks_.end()) continue;  // cancelled
     Callback fn = std::move(it->second);
@@ -33,11 +53,12 @@ bool Engine::step() {
 }
 
 void Engine::run_until(double time) {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip cancelled heads without advancing the clock.
-    const QueuedEvent head = queue_.top();
+    const QueuedEvent head = heap_.front();
     if (!callbacks_.count(head.id)) {
-      queue_.pop();
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<QueuedEvent>());
+      heap_.pop_back();
       continue;
     }
     if (head.time > time) break;

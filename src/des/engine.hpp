@@ -2,12 +2,22 @@
 // A small discrete-event simulation engine: a time-ordered event queue with
 // cancellation.  The paper evaluates COCA with "event-based simulations"; we
 // use this engine to run job-level processor-sharing queues and validate the
-// analytic M/G/1/PS delay model the optimizer relies on (Eq. 4).
+// analytic M/G/1/PS delay model the optimizer relies on (Eq. 4), and — via
+// des::ShardRunner — to replay individual requests at production traffic.
+//
+// Cancellation is lazy: cancel() drops the callback, leaving a tombstone in
+// the heap.  Under heavy traffic every PsQueue arrival and speed change
+// cancels and reschedules the pending departure, so tombstones would
+// otherwise outnumber live events without bound; the engine therefore
+// compacts the heap whenever tombstones exceed live events, keeping heap
+// memory O(live) with amortized O(1) extra work per cancel (each compaction
+// removes at least half the heap and is paid for by the cancels that created
+// the tombstones).
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
+#include <vector>
 
 namespace coca::des {
 
@@ -30,6 +40,11 @@ class Engine {
 
   double now() const { return now_; }
   std::size_t pending() const { return callbacks_.size(); }
+  /// Cancelled entries still occupying the heap (bounded by pending() + 1
+  /// thanks to compaction; exposed so stress tests can pin the bound).
+  std::size_t tombstones() const { return heap_.size() - callbacks_.size(); }
+  /// Raw heap occupancy, live events plus tombstones.
+  std::size_t heap_size() const { return heap_.size(); }
 
  private:
   struct QueuedEvent {
@@ -42,12 +57,14 @@ class Engine {
     }
   };
 
+  /// Drop tombstones and rebuild the heap; called when they exceed live
+  /// events.
+  void compact();
+
   double now_ = 0.0;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_sequence_ = 0;
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
-                      std::greater<QueuedEvent>>
-      queue_;
+  std::vector<QueuedEvent> heap_;  ///< min-heap via std::*_heap + greater
   std::unordered_map<EventId, Callback> callbacks_;
 };
 

@@ -1,10 +1,15 @@
 #include "des/ps_queue.hpp"
 
-#include <algorithm>
-#include <limits>
 #include <stdexcept>
 
 namespace coca::des {
+
+namespace {
+// Completion tolerance in work units (mean job work is O(1)); completing
+// 1e-9 work early is an O(1e-10 s) bias.  Virtual time rebases to 0 at every
+// empty period, so the absolute epsilon stays meaningful even in long runs.
+constexpr double kCompletionEps = 1e-9;
+}  // namespace
 
 PsQueue::PsQueue(Engine& engine, double speed)
     : engine_(&engine), speed_(speed), last_update_(engine.now()) {
@@ -19,12 +24,9 @@ void PsQueue::advance() {
     const auto n = static_cast<double>(jobs_.size());
     stats_.area_jobs += n * elapsed;
     stats_.observed_seconds += elapsed;
-    if (!jobs_.empty()) {
-      const double service_each = elapsed * speed_ / n;
-      for (auto& job : jobs_) {
-        job.remaining = std::max(0.0, job.remaining - service_each);
-      }
-    }
+    // Every resident job attains service at rate speed/n: one scalar update
+    // replaces the per-job remaining-work sweep.
+    if (!jobs_.empty()) vtime_ += elapsed * speed_ / n;
   }
   last_update_ = now;
 }
@@ -35,55 +37,61 @@ void PsQueue::schedule_departure() {
     pending_departure_ = 0;
   }
   if (jobs_.empty()) return;
-  double min_remaining = std::numeric_limits<double>::infinity();
-  for (const auto& job : jobs_) min_remaining = std::min(min_remaining, job.remaining);
+  const double min_finish = jobs_.begin()->finish_vtime;
+  const double remaining_v = min_finish > vtime_ ? min_finish - vtime_ : 0.0;
   const double horizon =
-      min_remaining * static_cast<double>(jobs_.size()) / speed_;
+      remaining_v * static_cast<double>(jobs_.size()) / speed_;
   pending_departure_ = engine_->schedule(
       engine_->now() + horizon, [this](Engine&) { on_departure(); });
+}
+
+void PsQueue::record_completion(const ResidentJob& job) {
+  ++stats_.completions;
+  const double sojourn = engine_->now() - job.arrival_time;
+  stats_.total_response_seconds += sojourn;
+  if (sojourn_sink_ != nullptr) sojourn_sink_->record(sojourn);
+}
+
+std::size_t PsQueue::complete_through(double threshold) {
+  std::size_t done = 0;
+  while (!jobs_.empty() && jobs_.begin()->finish_vtime <= threshold) {
+    record_completion(*jobs_.begin());
+    jobs_.erase(jobs_.begin());
+    ++done;
+  }
+  return done;
 }
 
 void PsQueue::on_departure() {
   pending_departure_ = 0;
   advance();
-  const double now = engine_->now();
-  // Complete every job whose residual work is negligible (ties together).
-  // The epsilon is in work units (mean job work is O(1)); completing 1e-9
-  // work early is an O(1e-10 s) bias.
-  constexpr double kCompletionEps = 1e-9;
-  auto complete_below = [&](double threshold) {
-    std::size_t done = 0;
-    auto it = jobs_.begin();
-    while (it != jobs_.end()) {
-      if (it->remaining <= threshold) {
-        ++stats_.completions;
-        stats_.total_response_seconds += now - it->arrival_time;
-        it = jobs_.erase(it);
-        ++done;
-      } else {
-        ++it;
-      }
-    }
-    return done;
-  };
-  if (complete_below(kCompletionEps) == 0 && !jobs_.empty()) {
+  // Complete every job whose residual virtual service is negligible (ties
+  // together).
+  if (complete_through(vtime_ + kCompletionEps) == 0 && !jobs_.empty()) {
     // Floating-point stall guard: the event fired at the scheduled finish
-    // time but the clock/residual could not resolve the last ulp of
-    // service.  The minimum-remaining job is done by construction.
-    double min_remaining = std::numeric_limits<double>::infinity();
-    for (const auto& job : jobs_) {
-      min_remaining = std::min(min_remaining, job.remaining);
-    }
-    complete_below(min_remaining * (1.0 + 1e-12));
+    // time but the clock/virtual-time could not resolve the last ulp of
+    // service.  The minimum-finish job is done by construction.
+    complete_through(jobs_.begin()->finish_vtime);
   }
+  if (jobs_.empty()) vtime_ = 0.0;  // rebase: nothing references V anymore
   schedule_departure();
 }
 
 void PsQueue::arrive(double work) {
-  if (work <= 0.0) throw std::invalid_argument("PsQueue::arrive: work must be > 0");
+  if (work < 0.0) {
+    throw std::invalid_argument("PsQueue::arrive: work must be >= 0");
+  }
   advance();
   ++stats_.arrivals;
-  jobs_.push_back({work, engine_->now()});
+  if (work == 0.0) {
+    // Zero service requirement: completes the instant it arrives, without
+    // ever joining the processor-sharing round (sojourn 0).
+    ResidentJob job;
+    job.arrival_time = engine_->now();
+    record_completion(job);
+    return;
+  }
+  jobs_.insert({vtime_ + work, next_sequence_++, engine_->now()});
   schedule_departure();
 }
 
@@ -94,9 +102,20 @@ void PsQueue::set_speed(double speed) {
   schedule_departure();
 }
 
-PsQueue::Stats PsQueue::stats() {
-  advance();  // fold the integral up to the current clock
-  return stats_;
+PsQueue::Stats PsQueue::stats() const {
+  // Pure observation: fold the open interval [last_update_, now) into a
+  // *copy*.  Mutating here (as an advance() call would) chunks the vtime_
+  // and integral accumulation at every read, so merely observing the queue
+  // mid-run would change its floating-point trajectory — the shard runner's
+  // per-slot trace reads must leave the replay bit-identical to an untraced
+  // one.
+  Stats out = stats_;
+  const double elapsed = engine_->now() - last_update_;
+  if (elapsed > 0.0) {
+    out.area_jobs += static_cast<double>(jobs_.size()) * elapsed;
+    out.observed_seconds += elapsed;
+  }
+  return out;
 }
 
 }  // namespace coca::des

@@ -6,6 +6,26 @@
 
 namespace coca::des {
 
+namespace {
+
+/// SplitMix64 finalizer (the same mix util::Rng seeds through).
+std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the base seed to a pseudo-random point first, then fold the stream
+  // index in (the `seed ^ c` shape multi-chain GSD uses) and mix again: two
+  // replays whose base seeds differ in any bit land in unrelated stream
+  // sets, and streams within a replay are pairwise decorrelated.
+  return splitmix64_mix(splitmix64_mix(seed) ^ stream);
+}
+
 PsMeasurement measure_ps_server(double lambda, double rate, double duration,
                                 std::uint64_t seed) {
   if (rate <= 0.0 || duration <= 0.0) {
@@ -20,7 +40,9 @@ PsMeasurement measure_ps_server(double lambda, double rate, double duration,
   PsMeasurement out;
   out.mean_jobs_in_system = stats.mean_jobs_in_system();
   out.mean_response_seconds = stats.mean_response_seconds();
+  out.arrivals = stats.arrivals;
   out.completions = stats.completions;
+  out.in_flight = queue.jobs_in_system();
   return out;
 }
 
@@ -36,7 +58,7 @@ double replay_delay_jobs(const dc::Fleet& fleet, const dc::Allocation& alloc,
     const double rate = fleet.group(g).spec().level(a.level).service_rate;
     const double per_server = a.load / a.active;
     const auto measured =
-        measure_ps_server(per_server, rate, duration, seed + g);
+        measure_ps_server(per_server, rate, duration, stream_seed(seed, g));
     total += a.active * measured.mean_jobs_in_system;
   }
   return total;

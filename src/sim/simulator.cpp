@@ -150,6 +150,9 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
       options.trace->record(slot);
     }
 
+    if (options.record_allocations != nullptr) {
+      options.record_allocations->push_back(executed);
+    }
     previous = std::move(executed);
   }
   obs::count("sim.slots", static_cast<std::int64_t>(env.slots()));

@@ -4,6 +4,8 @@
 // charges switching energy, and feeds the controller its post-slot
 // observations (the realized off-site renewables).
 
+#include <vector>
+
 #include "core/controller.hpp"
 #include "dc/switching.hpp"
 #include "obs/trace.hpp"
@@ -24,6 +26,10 @@ struct SimOptions {
   /// AsyncTraceSink (obs/async_sink.hpp).  Parallel sweeps give each point
   /// its own sink.
   obs::TraceSink* trace = nullptr;
+  /// Optional capture of the *executed* allocation of every slot (after
+  /// runtime rebalancing and any infeasibility fallback), in slot order —
+  /// the decision sequence des::ShardRunner replays at request level.
+  std::vector<dc::Allocation>* record_allocations = nullptr;
 };
 
 struct SimResult {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 #include <vector>
 
@@ -87,6 +89,49 @@ TEST(Engine, PendingCountExcludesCancelled) {
 TEST(Engine, StepReturnsFalseWhenEmpty) {
   Engine engine;
   EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, TombstonesCountCancelledHeapEntries) {
+  Engine engine;
+  const auto a = engine.schedule(1.0, [](Engine&) {});
+  engine.schedule(2.0, [](Engine&) {});
+  EXPECT_EQ(engine.tombstones(), 0u);
+  engine.cancel(a);
+  // One tombstone against one live event: at the compaction threshold but
+  // not over it, so the entry stays until it is popped or outnumbered.
+  EXPECT_EQ(engine.tombstones(), 1u);
+  EXPECT_EQ(engine.heap_size(), 2u);
+  engine.run_all();
+  EXPECT_EQ(engine.tombstones(), 0u);
+  EXPECT_EQ(engine.heap_size(), 0u);
+}
+
+TEST(Engine, TombstoneCompactionBoundsHeapUnderCancelChurn) {
+  // Regression: lazy cancellation used to leave every cancelled entry in the
+  // heap until its time came up.  The PsQueue departure pattern — cancel and
+  // reschedule one hot event per arrival — then grew the heap linearly in
+  // arrivals, not in live events.  Compaction must keep the heap O(live)
+  // through 1e5 cancel/reschedule cycles.
+  Engine engine;
+  int fired = 0;
+  for (int i = 0; i < 64; ++i) {
+    engine.schedule(1e7 + i, [&](Engine&) { ++fired; });
+  }
+  auto hot = engine.schedule(10.0, [&](Engine&) { ++fired; });
+  std::size_t peak_heap = 0;
+  for (int cycle = 0; cycle < 100'000; ++cycle) {
+    ASSERT_TRUE(engine.cancel(hot));
+    hot = engine.schedule(10.0 + 1e-3 * cycle, [&](Engine&) { ++fired; });
+    peak_heap = std::max(peak_heap, engine.heap_size());
+  }
+  EXPECT_EQ(engine.pending(), 65u);
+  // Compaction fires when tombstones exceed live events, so the heap never
+  // holds more than live + (live + 1) entries.
+  EXPECT_LE(peak_heap, 2 * engine.pending() + 1);
+  EXPECT_LE(engine.tombstones(), engine.pending() + 1);
+  engine.run_all();
+  EXPECT_EQ(fired, 65);  // the surviving hot event plus the backlog
+  EXPECT_EQ(engine.heap_size(), 0u);
 }
 
 }  // namespace

@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
+#include <vector>
 
 #include "dc/delay_model.hpp"
 #include "des/job_source.hpp"
 #include "des/slot_replay.hpp"
+#include "obs/tail_histogram.hpp"
 
 namespace coca::des {
 namespace {
@@ -77,8 +80,85 @@ TEST(PsQueue, Validation) {
   Engine engine;
   EXPECT_THROW(PsQueue(engine, 0.0), std::invalid_argument);
   PsQueue queue(engine, 1.0);
-  EXPECT_THROW(queue.arrive(0.0), std::invalid_argument);
+  EXPECT_THROW(queue.arrive(-1.0), std::invalid_argument);
   EXPECT_THROW(queue.set_speed(-1.0), std::invalid_argument);
+}
+
+TEST(PsQueue, ZeroWorkArrivalCompletesImmediately) {
+  // The exponential work sampler can return exactly 0.0 (it maps u = 1 to
+  // -log(1) = 0); such a request completes the instant it arrives with zero
+  // sojourn instead of throwing away the whole replay.
+  Engine engine;
+  PsQueue queue(engine, 2.0);
+  obs::TailHistogram tail;
+  queue.set_sojourn_sink(&tail);
+  queue.arrive(0.0);
+  EXPECT_EQ(queue.jobs_in_system(), 0u);
+  const auto empty_stats = queue.stats();
+  EXPECT_EQ(empty_stats.arrivals, 1u);
+  EXPECT_EQ(empty_stats.completions, 1u);
+  EXPECT_EQ(empty_stats.total_response_seconds, 0.0);
+  EXPECT_EQ(tail.total(), 1u);
+  // A zero sojourn lands in the underflow bin.
+  EXPECT_DOUBLE_EQ(tail.quantile(1.0),
+                   std::ldexp(1.0, tail.config().min_exponent));
+
+  // Zero-work arrivals leave jobs already in service untouched: the resident
+  // job still finishes as if it had the server to itself.
+  queue.arrive(2.0);
+  queue.arrive(0.0);
+  EXPECT_EQ(queue.jobs_in_system(), 1u);
+  engine.run_all();
+  EXPECT_EQ(queue.stats().completions, 3u);
+  EXPECT_NEAR(engine.now(), 1.0, 1e-12);  // 2 work units at speed 2, alone
+}
+
+TEST(PsQueue, StatsReadsDoNotPerturbTheReplay) {
+  // stats() folds the occupancy integral up to the clock on a *copy*: an
+  // observed run must stay bit-identical to an unobserved one (the shard
+  // runner reads stats at every slot boundary of a traced replay).
+  const auto run = [](bool observe) {
+    Engine engine;
+    PsQueue queue(engine, 3.0);
+    obs::TailHistogram tail;
+    queue.set_sojourn_sink(&tail);
+    JobSource source(engine, queue, 2.0, 1.0, 200.0, 7);
+    if (observe) {
+      for (double t = 1.0; t < 250.0; t += 1.0) {
+        engine.run_until(t);
+        (void)queue.stats();
+        (void)queue.jobs_in_system();
+      }
+    }
+    engine.run_all();
+    const auto stats = queue.stats();
+    return std::make_tuple(stats.arrivals, stats.completions, stats.area_jobs,
+                           stats.total_response_seconds, tail.counts());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(JobSource, SetRateRacingTheFinalArrivalRespectsTheHorizon) {
+  // set_rate cancels the pending arrival and redraws from now.  Flipping the
+  // rate while the final pre-end_time arrival is in flight must neither fire
+  // that arrival nor let the redraw schedule past the horizon.
+  Engine engine;
+  PsQueue queue(engine, 1e9);
+  JobSource source(engine, queue, 5.0, 1.0, 4.0, 42);
+  engine.run_until(2.0);
+  const auto before = source.generated();
+  EXPECT_GT(before, 0u);
+  source.set_rate(0.0);  // cancels the pending arrival
+  engine.run_all();
+  EXPECT_EQ(source.generated(), before);
+
+  // Re-enabling once the clock has passed end_time generates nothing: the
+  // redraw lands at now + Exp > end_time and is discarded.
+  engine.run_until(5.0);
+  source.set_rate(50.0);
+  engine.run_all();
+  EXPECT_EQ(source.generated(), before);
+  EXPECT_EQ(queue.stats().arrivals, before);
 }
 
 // --- M/G/1/PS law validation: the core modeling assumption of Eq. 4 ---

@@ -725,8 +725,8 @@ def check_lock_discipline(files: list[SourceFile]) -> list[Finding]:
 # Check: obs-hygiene
 
 ENTRY_POINT_NAMES = {"solve", "solve_chain", "solve_batch", "plan", "observe",
-                     "run_simulation"}
-ENTRY_POINT_DIRS = ("src/opt/", "src/core/", "src/sim/")
+                     "run_simulation", "replay"}
+ENTRY_POINT_DIRS = ("src/opt/", "src/core/", "src/sim/", "src/des/")
 OBS_EXEMPT = re.compile(r"OBS-EXEMPT\(([^)]+)\)")
 CHRONO_BOUNDARY = "src/obs/clock.hpp"
 
@@ -1102,6 +1102,25 @@ _FIXTURES: list[tuple[str, dict[str, str], str | None, list[str]]] = [
             "src/opt/s.cpp": "struct R {};\n"
             "// OBS-EXEMPT(fixture: span opened at the call site)\n"
             "R Solver::solve(int v) {\n  return R{};\n}\n"
+        },
+        None,
+        [],
+    ),
+    (
+        "obs-des-replay-no-span",
+        {
+            "src/des/r.cpp": "struct R {};\n"
+            "R ShardRunner::replay(int v) {\n  return R{};\n}\n"
+        },
+        None,
+        ["obs-hygiene"],
+    ),
+    (
+        "obs-des-replay-span",
+        {
+            "src/des/r.cpp": "struct R {};\n"
+            "R ShardRunner::replay(int v) {\n"
+            '  const obs::ScopedSpan span("des_replay");\n  return R{};\n}\n'
         },
         None,
         [],

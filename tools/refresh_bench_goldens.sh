@@ -36,6 +36,7 @@ BENCHES=(
   fig5d_switching
   abl_portfolio
   abl_recs
+  fig_des_tail
 )
 
 export COCA_BENCH_HOURS=240
