@@ -34,7 +34,7 @@ int main() {
     const auto result = sim::run_coca_constant_v(scenario, v_star.v);
     return Row{result.metrics.average_cost(),
                result.metrics.total_delay_cost() / result.metrics.total_cost(),
-               result.metrics.total_brown_kwh() / scenario.unaware_brown_kwh};
+               result.metrics.total_brown_kwh() / scenario.unaware_brown_kwh.value()};
   };
 
   sim::SweepRunner runner;

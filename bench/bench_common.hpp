@@ -70,7 +70,7 @@ inline void scenario_summary(const sim::Scenario& scenario) {
             << "carbon budget: " << scenario.budget.total_allowance() / 1000.0
             << " MWh allowance (" << scenario.config.budget_fraction * 100.0
             << "% of carbon-unaware usage "
-            << scenario.unaware_brown_kwh / 1000.0 << " MWh)\n";
+            << scenario.unaware_brown_kwh.value() / 1000.0 << " MWh)\n";
 }
 
 inline void emit(const util::Table& table) {

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
             << " M req/s\n";
   std::cout << "Carbon budget (allowance): "
             << scenario.budget.total_allowance() / 1000.0 << " MWh vs unaware usage "
-            << scenario.unaware_brown_kwh / 1000.0 << " MWh\n\n";
+            << scenario.unaware_brown_kwh.value() / 1000.0 << " MWh\n\n";
 
   // Carbon-unaware baseline.
   const sim::SimResult unaware = sim::run_carbon_unaware(

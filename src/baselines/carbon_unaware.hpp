@@ -17,6 +17,10 @@ class CarbonUnawareController final : public core::SlotController {
   std::string name() const override { return "carbon-unaware"; }
   opt::SlotSolution plan(std::size_t t, const opt::SlotInput& input) override;
 
+  /// Stateless per-slot minimizer: capacity hot-swap (fault injection) is
+  /// just re-seating the fleet pointer.
+  void set_fleet(const dc::Fleet& fleet) override { fleet_ = &fleet; }
+
  private:
   const dc::Fleet* fleet_;
   opt::SlotWeights weights_;

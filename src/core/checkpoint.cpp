@@ -1,0 +1,64 @@
+#include "core/checkpoint.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace coca::core {
+
+std::string queue_to_json(const CarbonDeficitQueue& queue) {
+  std::string out = "{\"q\":";
+  out += obs::json_number(queue.length());
+  out += ",\"history\":[";
+  const auto& history = queue.history();
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (i > 0) out += ',';
+    out += obs::json_number(history[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+void queue_from_json(const obs::JsonValue& fragment,
+                     CarbonDeficitQueue& queue) {
+  const double q = fragment.at("q").as_double();
+  std::vector<double> history;
+  const auto& entries = fragment.at("history").as_array();
+  history.reserve(entries.size());
+  for (const auto& entry : entries) history.push_back(entry.as_double());
+  queue.restore(q, std::move(history));
+}
+
+std::string render_checkpoint(const std::string& controller,
+                              std::size_t upto_slot,
+                              const std::string& state_fields) {
+  std::string out = "{\"schema\":\"";
+  out += kCheckpointSchema;
+  out += "\",\"controller\":\"";
+  out += obs::json_escape(controller);
+  out += "\",\"slot\":";
+  out += obs::json_number(static_cast<std::int64_t>(upto_slot));
+  out += state_fields;
+  out += '}';
+  return out;
+}
+
+obs::JsonValue parse_checkpoint(const std::string& blob,
+                                const std::string& expected_controller) {
+  obs::JsonValue doc = obs::parse_json(blob);
+  if (!doc.is_object()) {
+    throw std::runtime_error("coca-ckpt: blob is not a JSON object");
+  }
+  if (doc.at("schema").as_string() != kCheckpointSchema) {
+    throw std::runtime_error("coca-ckpt: unknown schema " +
+                             doc.at("schema").as_string());
+  }
+  if (doc.at("controller").as_string() != expected_controller) {
+    throw std::runtime_error(
+        "coca-ckpt: checkpoint belongs to controller '" +
+        doc.at("controller").as_string() + "', expected '" +
+        expected_controller + "'");
+  }
+  return doc;
+}
+
+}  // namespace coca::core

@@ -1,5 +1,6 @@
 #include "core/coca_controller.hpp"
 
+#include "core/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -24,6 +25,13 @@ opt::SlotSolution CocaController::plan(std::size_t t,
     opt::GsdConfig gsd = config_.gsd;
     // Decorrelate the sampler across slots while staying deterministic.
     gsd.seed = config_.gsd.seed + t * 0x9e3779b9ULL;
+    // Deadline budget (fault injection): GSD is anytime — capping iterations
+    // returns the best-feasible-so-far point after at most that many
+    // objective evaluations per chain.
+    if (eval_budget_ >= 0 &&
+        eval_budget_ < static_cast<std::int64_t>(gsd.iterations)) {
+      gsd.iterations = static_cast<int>(eval_budget_);
+    }
     const auto result = opt::GsdSolver(gsd).solve(*fleet_, input, weights);
     last_solve_.solver_evaluations = result.evaluations;
     last_solve_.solver_accepted = result.accepted;
@@ -49,6 +57,17 @@ void CocaController::observe(std::size_t t, const opt::SlotOutcome& billed,
   queue_.update(billed.brown_energy(), units::KiloWattHours{offsite_kwh},
                 config_.alpha, units::KiloWattHours{config_.rec_per_slot});
   obs::gauge_set("coca.queue_kwh", queue_.length());
+}
+
+std::string CocaController::checkpoint(std::size_t upto_slot) const {
+  return render_checkpoint(name(), upto_slot, ",\"queue\":" +
+                                                  queue_to_json(queue_));
+}
+
+void CocaController::restore(const std::string& blob) {
+  const obs::JsonValue doc = parse_checkpoint(blob, name());
+  queue_from_json(doc.at("queue"), queue_);
+  obs::count("coca.restores");
 }
 
 SlotDiagnostics CocaController::diagnostics(std::size_t t) const {

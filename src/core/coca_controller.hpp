@@ -59,7 +59,22 @@ class CocaController final : public SlotController {
   /// carbon-deficit queue and the V schedule carry over, only capacity
   /// changes.  The fleet must keep the same group structure (allocations are
   /// per group) and must outlive the controller.
-  void set_fleet(const dc::Fleet& fleet) { fleet_ = &fleet; }
+  void set_fleet(const dc::Fleet& fleet) override { fleet_ = &fleet; }
+
+  /// Deadline-overrun hook: caps GSD at `max_evaluations` objective
+  /// evaluations per solve (anytime: the best-so-far point is returned);
+  /// negative lifts the cap.  The ladder engine completes in one evaluation
+  /// and is unaffected by any positive budget.
+  void set_evaluation_budget(std::int64_t max_evaluations) override {
+    eval_budget_ = max_evaluations;
+  }
+
+  /// coca-ckpt-v1 crash/restart: the carbon-deficit queue is the
+  /// controller's only cross-slot state (V_r is a pure function of t).
+  bool supports_checkpoint() const override { return true; }
+  std::string checkpoint(std::size_t upto_slot) const override;
+  void restore(const std::string& blob) override;
+
   const CarbonDeficitQueue& queue() const { return queue_; }
   const CocaConfig& config() const { return config_; }
 
@@ -68,6 +83,7 @@ class CocaController final : public SlotController {
   CocaConfig config_;
   CarbonDeficitQueue queue_;
   opt::LadderSolver ladder_;
+  std::int64_t eval_budget_ = -1;  ///< GSD evaluation cap; < 0 = unlimited
   /// Solver internals of the most recent plan() (for diagnostics()).
   SlotDiagnostics last_solve_;
 };

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "opt/ladder_solver.hpp"
@@ -60,6 +61,44 @@ class SlotController {
     SlotDiagnostics d;
     d.queue_length = diagnostic_queue_length();
     return d;
+  }
+
+  // --- Degraded-mode hooks (driven by src/fault via sim/simulator) ---------
+
+  /// Re-seat the controller on a (possibly degraded) fleet mid-run: capacity
+  /// changes, all learned state (queue, ledgers) carries over.  The fleet
+  /// must keep the same group structure and outlive the next plan() call.
+  /// Controllers that cannot re-plan against a changed fleet (offline /
+  /// lookahead baselines precompute against the full fleet) keep this
+  /// default, which refuses loudly instead of silently mis-planning.
+  virtual void set_fleet(const dc::Fleet& fleet) {
+    (void)fleet;
+    throw std::logic_error(name() + ": fleet hot-swap not supported");
+  }
+
+  /// Deadline-overrun hook: cap the next plan() at `max_evaluations` P3
+  /// objective evaluations (anytime operation — the solver returns its
+  /// best-feasible-so-far).  Negative lifts the cap.  The default ignores
+  /// the cap, which is conformant for solvers that always finish within one
+  /// evaluation (ladder, closed-form baselines); a budget of 0 never reaches
+  /// the controller — the simulator skips the solve and actuates its
+  /// fallback instead.
+  virtual void set_evaluation_budget(std::int64_t max_evaluations) {
+    (void)max_evaluations;
+  }
+
+  /// Crash/restart support: controllers that can serialize their state into
+  /// a coca-ckpt-v1 blob (see core/checkpoint.hpp) return true and implement
+  /// the pair below.  `checkpoint(t)` captures the state after slots [0, t);
+  /// `restore` replaces the controller's state with the blob's.
+  virtual bool supports_checkpoint() const { return false; }
+  virtual std::string checkpoint(std::size_t upto_slot) const {
+    (void)upto_slot;
+    throw std::logic_error(name() + ": checkpointing not supported");
+  }
+  virtual void restore(const std::string& blob) {
+    (void)blob;
+    throw std::logic_error(name() + ": checkpointing not supported");
   }
 };
 

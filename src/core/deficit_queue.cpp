@@ -24,4 +24,18 @@ units::KiloWattHours CarbonDeficitQueue::update(
   return next;
 }
 
+void CarbonDeficitQueue::restore(double q, std::vector<double> history) {
+  if (q < 0.0) {
+    throw std::invalid_argument("CarbonDeficitQueue::restore: negative length");
+  }
+  for (const double h : history) {
+    if (h < 0.0) {
+      throw std::invalid_argument(
+          "CarbonDeficitQueue::restore: negative history entry");
+    }
+  }
+  q_ = q;
+  history_ = std::move(history);
+}
+
 }  // namespace coca::core

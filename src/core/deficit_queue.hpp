@@ -55,6 +55,11 @@ class CarbonDeficitQueue {
   /// Frame reset (Algorithm 1 lines 2-4).
   void reset() { q_ = 0.0; }
 
+  /// Crash/restart: replace the full queue state (length + history) with a
+  /// checkpointed snapshot (core/checkpoint.hpp).  Throws on a negative
+  /// length — a restored queue must still be a valid [.]^+ iterate.
+  void restore(double q, std::vector<double> history);
+
   /// Queue length after every update so far (diagnostics / Theorem 2 checks).
   const std::vector<double>& history() const { return history_; }
 

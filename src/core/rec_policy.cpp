@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -81,6 +82,37 @@ void DynamicRecCocaController::observe(std::size_t t,
     queue_.update(units::KiloWattHours{}, units::KiloWattHours{},
                   config_.alpha, units::KiloWattHours{bought});
   }
+}
+
+std::string DynamicRecCocaController::checkpoint(std::size_t upto_slot) const {
+  std::string state = ",\"queue\":" + queue_to_json(queue_);
+  state += ",\"ledger\":{\"purchased\":";
+  state += obs::json_number(ledger_.purchased_total());
+  state += ",\"retired\":";
+  state += obs::json_number(ledger_.retired_total());
+  state += "},\"spend\":";
+  state += obs::json_number(spend_);
+  state += ",\"purchases\":[";
+  for (std::size_t i = 0; i < purchases_.size(); ++i) {
+    if (i > 0) state += ',';
+    state += obs::json_number(purchases_[i]);
+  }
+  state += ']';
+  return render_checkpoint(name(), upto_slot, state);
+}
+
+void DynamicRecCocaController::restore(const std::string& blob) {
+  const obs::JsonValue doc = parse_checkpoint(blob, name());
+  queue_from_json(doc.at("queue"), queue_);
+  const auto& ledger = doc.at("ledger");
+  ledger_.restore(ledger.at("purchased").as_double(),
+                  ledger.at("retired").as_double());
+  spend_ = doc.at("spend").as_double();
+  purchases_.clear();
+  for (const auto& entry : doc.at("purchases").as_array()) {
+    purchases_.push_back(entry.as_double());
+  }
+  obs::count("rec.restores");
 }
 
 SlotDiagnostics DynamicRecCocaController::diagnostics(std::size_t t) const {

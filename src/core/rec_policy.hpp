@@ -46,6 +46,14 @@ class DynamicRecCocaController final : public SlotController {
   double diagnostic_queue_length() const override { return queue_.length(); }
   SlotDiagnostics diagnostics(std::size_t t) const override;
 
+  /// Degraded-mode hooks: capacity hot-swap plus coca-ckpt-v1 crash/restart
+  /// covering the full purchasing state (queue, ledger, spend, purchase
+  /// history) on top of the base COCA queue.
+  void set_fleet(const dc::Fleet& fleet) override { fleet_ = &fleet; }
+  bool supports_checkpoint() const override { return true; }
+  std::string checkpoint(std::size_t upto_slot) const override;
+  void restore(const std::string& blob) override;
+
   /// Purchase decision of the threshold policy for the given state; exposed
   /// for tests.  Returns the kWh to buy this slot.
   double purchase_decision(std::size_t t, double queue_length) const;

@@ -31,4 +31,13 @@ double RecLedger::retire_up_to(double kwh) {
   return amount;
 }
 
+void RecLedger::restore(double purchased_kwh, double retired_kwh) {
+  if (retired_kwh < 0.0 || purchased_kwh < retired_kwh) {
+    throw std::invalid_argument(
+        "RecLedger::restore: need 0 <= retired <= purchased");
+  }
+  purchased_ = purchased_kwh;
+  retired_ = retired_kwh;
+}
+
 }  // namespace coca::energy

@@ -25,6 +25,10 @@ class RecLedger {
   /// actually retired.
   double retire_up_to(double kwh);
 
+  /// Crash/restart: replace the ledger totals with a checkpointed snapshot
+  /// (core/checkpoint.hpp).  Throws unless 0 <= retired <= purchased.
+  void restore(double purchased_kwh, double retired_kwh);
+
   double balance() const { return purchased_ - retired_; }
   double purchased_total() const { return purchased_; }
   double retired_total() const { return retired_; }

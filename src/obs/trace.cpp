@@ -39,6 +39,16 @@ std::string to_json_line(const SlotTrace& slot) {
   field(",\"acceptance_rate\":", json_number(slot.acceptance_rate));
   field(",\"chains\":", json_number(slot.chains));
   field(",\"winning_chain\":", json_number(slot.winning_chain));
+  if (slot.fault_active) {
+    // Fault fields appear only on perturbed slots, keeping fault-free
+    // traces byte-identical to the pre-fault schema.
+    out += ",\"degraded\":";
+    out += slot.degraded ? "true" : "false";
+    field(",\"stale_inputs\":", json_number(slot.stale_inputs));
+    out += ",\"fallback\":";
+    out += slot.fallback ? "true" : "false";
+    field(",\"shed_lambda\":", json_number(slot.shed_lambda));
+  }
   field(",\"solve_ms\":", json_number(slot.solve_ms));
   out += '}';
   return out;

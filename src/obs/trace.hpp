@@ -51,6 +51,14 @@ struct SlotTrace {
   double acceptance_rate = 0.0;
   std::int64_t chains = 0;
   std::int64_t winning_chain = -1;
+  // Fault injection (src/fault).  `fault_active` gates serialization: on
+  // clean slots the four fields are omitted entirely, so fault-free traces
+  // stay byte-identical to the pre-fault schema.
+  bool fault_active = false;
+  bool degraded = false;        ///< slot ran on a degraded fleet
+  std::int64_t stale_inputs = 0;  ///< stale input channels at plan time
+  bool fallback = false;        ///< deadline fallback actuated
+  double shed_lambda = 0.0;     ///< arrival rate shed this slot (req/s)
   // Timing: the one field excluded from golden comparisons.
   double solve_ms = 0.0;
 };

@@ -1,5 +1,6 @@
 #include "opt/slot_problem.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace coca::opt {
@@ -125,6 +126,21 @@ dc::Allocation expanded_to_capacity(const dc::Fleet& fleet,
         capacity += per * alloc[g].active;
       }
     }
+  }
+  return alloc;
+}
+
+dc::Allocation clamped_to_fleet(const dc::Fleet& fleet,
+                                const dc::Allocation& planned) {
+  dc::Allocation alloc(fleet.group_count());
+  const std::size_t groups = std::min(planned.size(), fleet.group_count());
+  for (std::size_t g = 0; g < groups; ++g) {
+    const auto& group = fleet.group(g);
+    alloc[g].level =
+        std::min(planned[g].level, group.spec().level_count() - 1);
+    alloc[g].active = std::min(
+        planned[g].active, static_cast<double>(group.server_count()));
+    alloc[g].load = 0.0;  // the caller re-balances over the clamped capacity
   }
   return alloc;
 }

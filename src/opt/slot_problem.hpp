@@ -132,4 +132,12 @@ dc::Allocation expanded_to_capacity(const dc::Fleet& fleet,
                                     const dc::Allocation& planned,
                                     double lambda, double gamma);
 
+/// Clamp an allocation onto a (possibly smaller) fleet: per group, active
+/// servers are capped at the group's server count and the speed level at its
+/// top level; loads are cleared for the caller to re-balance.  This is the
+/// anytime fallback's "previous slot's allocation rescaled to surviving
+/// capacity" (fault injection: deadline overruns, post-outage slots).
+dc::Allocation clamped_to_fleet(const dc::Fleet& fleet,
+                                const dc::Allocation& planned);
+
 }  // namespace coca::opt

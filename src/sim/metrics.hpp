@@ -29,6 +29,11 @@ struct SlotRecord {
   double active_servers = 0.0;
   double toggles = 0.0;             ///< on/off transitions this slot
   units::KiloWattHours switching_kwh;
+  // Fault injection (src/fault): all-zero/false on clean runs.
+  units::RequestsPerSec shed_lambda;  ///< arrival rate shed this slot
+  bool degraded = false;            ///< slot ran on a degraded fleet
+  bool stale = false;               ///< planned on >= 1 stale input channel
+  bool fallback = false;            ///< deadline fallback actuated
 };
 
 class Metrics {
@@ -49,6 +54,14 @@ class Metrics {
   /// Dynamic REC procurement spend billed by the simulator ($).
   double total_rec_cost() const;
   double total_switching_kwh() const;
+  /// Total arrival rate shed across the run (req/s summed over shed slots;
+  /// 0 on clean runs).
+  double total_shed_lambda() const;
+  /// Fault-injection slot counts (all 0 on clean runs).
+  std::size_t degraded_slot_count() const;
+  std::size_t stale_slot_count() const;
+  std::size_t fallback_count() const;
+  std::size_t shed_slot_count() const;
   /// Average hourly cost (the paper's g-bar plus any REC spend).
   double average_cost() const;
   /// Average hourly brown energy.

@@ -89,9 +89,9 @@ Scenario build_scenario(const ScenarioConfig& config) {
                   std::move(env),
                   std::move(budget),
                   weights,
-                  reference_energy,
-                  unaware_brown,
-                  unaware.metrics.total_cost(),
+                  units::kwh(reference_energy),
+                  units::kwh(unaware_brown),
+                  units::usd(unaware.metrics.total_cost()),
                   config};
 }
 

@@ -21,6 +21,7 @@
 #include "energy/budget.hpp"
 #include "sim/environment.hpp"
 #include "sim/simulator.hpp"
+#include "util/units.hpp"
 
 namespace coca::sim {
 
@@ -54,9 +55,13 @@ struct Scenario {
   Environment env;
   energy::CarbonBudget budget;
   opt::SlotWeights weights;        ///< beta/gamma/pue/slot_hours filled in
-  double reference_energy_kwh;     ///< C0: unaware annual facility energy
-  double unaware_brown_kwh;        ///< E_unaware: unaware brown usage w/ onsite
-  double unaware_cost;             ///< unaware annual cost w/ onsite
+  // Calibration outputs carry their units in the type (util/units.hpp);
+  // benches/tests unwrap at their reporting boundary.  The wrapped doubles
+  // are the exact values the raw fields used to hold (the wrapper is a
+  // bitwise-transparent strong typedef).
+  units::KiloWattHours reference_energy_kwh;  ///< C0: unaware annual energy
+  units::KiloWattHours unaware_brown_kwh;  ///< E_unaware: brown w/ onsite
+  units::Usd unaware_cost;         ///< unaware annual cost w/ onsite
   ScenarioConfig config;
 
   /// z = Z / J (unscaled kWh) for COCA's queue update, which applies alpha.

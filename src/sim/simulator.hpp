@@ -8,6 +8,7 @@
 
 #include "core/controller.hpp"
 #include "dc/switching.hpp"
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
 #include "sim/environment.hpp"
 #include "sim/metrics.hpp"
@@ -30,11 +31,20 @@ struct SimOptions {
   /// runtime rebalancing and any infeasibility fallback), in slot order —
   /// the decision sequence des::ShardRunner replays at request level.
   std::vector<dc::Allocation>* record_allocations = nullptr;
+  /// Optional deterministic fault schedule (see fault/schedule.hpp).  When
+  /// null or empty, the run is byte-identical to a fault-free simulation.
+  /// Fault injection requires `rebalance_actual` (degraded fleets re-balance
+  /// the actual workload); passing a non-empty schedule with
+  /// `rebalance_actual == false` throws std::invalid_argument.
+  const fault::Schedule* faults = nullptr;
 };
 
 struct SimResult {
   Metrics metrics;
   std::size_t infeasible_slots = 0;  ///< slots needing the emergency fallback
+  /// Fault-injection counters (all zero on clean runs); per-slot detail
+  /// lives in the metrics records and the slot trace.
+  fault::FaultStats faults;
 };
 
 /// Run `controller` over all slots of `env`.  `weights` provides the model

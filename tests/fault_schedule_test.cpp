@@ -1,0 +1,267 @@
+// Tests for the deterministic fault schedule (fault/schedule.hpp) and its
+// resolved per-slot view (fault::Injector): validation, seeded generation,
+// per-group stream independence, and event -> lookup-table resolution with
+// degraded-fleet caching.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dc/fleet.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
+
+namespace coca {
+namespace {
+
+using fault::Channel;
+using fault::Injector;
+using fault::Profile;
+using fault::Schedule;
+
+// --- Schedule validation ---
+
+TEST(FaultSchedule, EmptyScheduleIsEmptyAndValid) {
+  Schedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_NO_THROW(schedule.validate(4, 100));
+}
+
+TEST(FaultSchedule, ValidatesOutageEvents) {
+  Schedule schedule;
+  schedule.outages.push_back({.group = 4, .begin = 0, .end = 1});
+  EXPECT_THROW(schedule.validate(4, 100), std::invalid_argument);
+
+  schedule.outages = {{.group = 0, .begin = 5, .end = 5}};
+  EXPECT_THROW(schedule.validate(4, 100), std::invalid_argument);
+
+  schedule.outages = {{.group = 0, .begin = 5, .end = 101}};
+  EXPECT_THROW(schedule.validate(4, 100), std::invalid_argument);
+
+  schedule.outages = {{.group = 0, .begin = 0, .end = 1, .fraction = 0.0}};
+  EXPECT_THROW(schedule.validate(4, 100), std::invalid_argument);
+
+  schedule.outages = {{.group = 0, .begin = 0, .end = 1, .fraction = 1.5}};
+  EXPECT_THROW(schedule.validate(4, 100), std::invalid_argument);
+
+  schedule.outages = {{.group = 3, .begin = 0, .end = 100, .fraction = 1.0}};
+  EXPECT_NO_THROW(schedule.validate(4, 100));
+  EXPECT_FALSE(schedule.empty());
+}
+
+TEST(FaultSchedule, ValidatesStalenessDeadlinesCrashesAndKnobs) {
+  Schedule schedule;
+  schedule.staleness.push_back({Channel::kPrice, 3, 3, 1});
+  EXPECT_THROW(schedule.validate(2, 10), std::invalid_argument);
+  schedule.staleness = {{Channel::kPrice, 0, 10, 0}};
+  EXPECT_THROW(schedule.validate(2, 10), std::invalid_argument);
+  schedule.staleness = {{Channel::kPrice, 0, 10, 2}};
+  EXPECT_NO_THROW(schedule.validate(2, 10));
+
+  schedule.deadlines.push_back({.begin = 0, .end = 11, .max_evaluations = 5});
+  EXPECT_THROW(schedule.validate(2, 10), std::invalid_argument);
+  schedule.deadlines = {{.begin = 0, .end = 10, .max_evaluations = -1}};
+  EXPECT_THROW(schedule.validate(2, 10), std::invalid_argument);
+  schedule.deadlines = {{.begin = 0, .end = 10, .max_evaluations = 0}};
+  EXPECT_NO_THROW(schedule.validate(2, 10));
+
+  schedule.crashes.push_back({.slot = 10});
+  EXPECT_THROW(schedule.validate(2, 10), std::invalid_argument);
+  schedule.crashes = {{.slot = 9}};
+  EXPECT_NO_THROW(schedule.validate(2, 10));
+
+  schedule.checkpoint_every = 0;
+  EXPECT_THROW(schedule.validate(2, 10), std::invalid_argument);
+  schedule.checkpoint_every = 4;
+  schedule.shed_jobs_per_rps = -1.0;
+  EXPECT_THROW(schedule.validate(2, 10), std::invalid_argument);
+  schedule.shed_jobs_per_rps = 2.0;
+  EXPECT_NO_THROW(schedule.validate(2, 10));
+}
+
+// --- Seeded generation ---
+
+TEST(FaultScheduleGenerate, IsAPureFunctionOfProfileAndSeed) {
+  Profile profile;
+  profile.outage_rate = 0.05;
+  profile.mean_outage_slots = 4.0;
+  profile.outage_fraction = 0.5;
+  profile.seed = 42;
+
+  const Schedule a = Schedule::generate(profile, 5, 500);
+  const Schedule b = Schedule::generate(profile, 5, 500);
+  ASSERT_EQ(a.outages.size(), b.outages.size());
+  EXPECT_FALSE(a.outages.empty());
+  for (std::size_t i = 0; i < a.outages.size(); ++i) {
+    EXPECT_EQ(a.outages[i].group, b.outages[i].group);
+    EXPECT_EQ(a.outages[i].begin, b.outages[i].begin);
+    EXPECT_EQ(a.outages[i].end, b.outages[i].end);
+    EXPECT_EQ(a.outages[i].fraction, b.outages[i].fraction);  // bitwise
+  }
+
+  profile.seed = 43;
+  const Schedule c = Schedule::generate(profile, 5, 500);
+  bool differs = a.outages.size() != c.outages.size();
+  for (std::size_t i = 0; !differs && i < a.outages.size(); ++i) {
+    differs = a.outages[i].begin != c.outages[i].begin ||
+              a.outages[i].end != c.outages[i].end;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultScheduleGenerate, GroupStreamsAreIndependentOfGroupCount) {
+  // Group g draws from a stream split off the seed by g, so adding groups
+  // never shifts the outage pattern of existing ones.
+  Profile profile;
+  profile.outage_rate = 0.08;
+  profile.seed = 7;
+  const Schedule narrow = Schedule::generate(profile, 1, 400);
+  const Schedule wide = Schedule::generate(profile, 3, 400);
+
+  std::vector<fault::OutageEvent> wide_group0;
+  for (const auto& ev : wide.outages) {
+    if (ev.group == 0) wide_group0.push_back(ev);
+  }
+  ASSERT_EQ(narrow.outages.size(), wide_group0.size());
+  for (std::size_t i = 0; i < narrow.outages.size(); ++i) {
+    EXPECT_EQ(narrow.outages[i].begin, wide_group0[i].begin);
+    EXPECT_EQ(narrow.outages[i].end, wide_group0[i].end);
+  }
+}
+
+TEST(FaultScheduleGenerate, OutagesAreDisjointPerGroupAndInsideHorizon) {
+  Profile profile;
+  profile.outage_rate = 0.2;
+  profile.mean_outage_slots = 10.0;
+  profile.seed = 11;
+  const Schedule schedule = Schedule::generate(profile, 2, 300);
+  ASSERT_FALSE(schedule.outages.empty());
+  std::size_t last_end[2] = {0, 0};
+  for (const auto& ev : schedule.outages) {
+    ASSERT_LT(ev.group, 2u);
+    EXPECT_LT(ev.begin, ev.end);
+    EXPECT_LE(ev.end, 300u);
+    EXPECT_GE(ev.begin, last_end[ev.group]);  // repair before the next onset
+    last_end[ev.group] = ev.end;
+  }
+  EXPECT_NO_THROW(schedule.validate(2, 300));
+}
+
+TEST(FaultScheduleGenerate, StalenessCoversEveryChannelWhenRequested) {
+  Profile profile;
+  profile.staleness_lag = 3;
+  const Schedule schedule = Schedule::generate(profile, 2, 50);
+  ASSERT_EQ(schedule.staleness.size(), 3u);
+  for (const auto& ev : schedule.staleness) {
+    EXPECT_EQ(ev.begin, 0u);
+    EXPECT_EQ(ev.end, 50u);
+    EXPECT_EQ(ev.lag, 3u);
+  }
+  EXPECT_TRUE(Schedule::generate({}, 2, 50).empty());  // default profile
+}
+
+TEST(FaultScheduleGenerate, RejectsMalformedProfiles) {
+  Profile profile;
+  profile.outage_rate = 1.5;
+  EXPECT_THROW(Schedule::generate(profile, 2, 10), std::invalid_argument);
+  profile.outage_rate = 0.1;
+  profile.mean_outage_slots = 0.0;
+  EXPECT_THROW(Schedule::generate(profile, 2, 10), std::invalid_argument);
+  profile.mean_outage_slots = 5.0;
+  profile.outage_fraction = 0.0;
+  EXPECT_THROW(Schedule::generate(profile, 2, 10), std::invalid_argument);
+}
+
+// --- Injector resolution ---
+
+TEST(FaultInjector, ResolvesOutagesIntoDegradedFleets) {
+  const dc::Fleet fleet = dc::make_homogeneous_fleet(3, 10);
+  Schedule schedule;
+  schedule.outages = {{.group = 0, .begin = 2, .end = 5, .fraction = 1.0},
+                      {.group = 1, .begin = 3, .end = 4, .fraction = 0.5}};
+  const Injector injector(fleet, schedule, 8);
+
+  EXPECT_FALSE(injector.degraded_at(0));
+  EXPECT_EQ(&injector.fleet_at(0), &fleet);
+  EXPECT_TRUE(injector.degraded_at(2));
+  EXPECT_EQ(injector.fleet_at(2).group(0).server_count(), 0u);
+  EXPECT_EQ(injector.fleet_at(2).group(1).server_count(), 10u);
+  // Slot 3 overlaps both outages: group 0 dark, half of group 1 down.
+  EXPECT_EQ(injector.fleet_at(3).group(0).server_count(), 0u);
+  EXPECT_EQ(injector.fleet_at(3).group(1).server_count(), 5u);
+  EXPECT_EQ(injector.fleet_at(4).group(0).server_count(), 0u);
+  EXPECT_EQ(injector.fleet_at(4).group(1).server_count(), 10u);
+  // Recovery at `end`.
+  EXPECT_FALSE(injector.degraded_at(5));
+  EXPECT_EQ(&injector.fleet_at(5), &fleet);
+  // Group structure preserved throughout.
+  EXPECT_EQ(injector.fleet_at(3).group_count(), fleet.group_count());
+}
+
+TEST(FaultInjector, CachesDistinctDegradedConfigurations) {
+  const dc::Fleet fleet = dc::make_homogeneous_fleet(2, 10);
+  Schedule schedule;
+  // Two disjoint intervals with the same failed-per-group vector share one
+  // degraded fleet; a third configuration gets its own.
+  schedule.outages = {{.group = 0, .begin = 0, .end = 2, .fraction = 1.0},
+                      {.group = 0, .begin = 4, .end = 6, .fraction = 1.0},
+                      {.group = 1, .begin = 8, .end = 9, .fraction = 1.0}};
+  const Injector injector(fleet, schedule, 10);
+  EXPECT_EQ(injector.distinct_fleets(), 3u);  // baseline + 2 degraded
+  EXPECT_EQ(&injector.fleet_at(0), &injector.fleet_at(5));
+  EXPECT_NE(&injector.fleet_at(0), &injector.fleet_at(8));
+  EXPECT_EQ(injector.fleet_index_at(0), injector.fleet_index_at(5));
+}
+
+TEST(FaultInjector, OverlappingOutagesTakeTheMaxFraction) {
+  const dc::Fleet fleet = dc::make_homogeneous_fleet(1, 10);
+  Schedule schedule;
+  schedule.outages = {{.group = 0, .begin = 0, .end = 4, .fraction = 0.3},
+                      {.group = 0, .begin = 2, .end = 6, .fraction = 0.8}};
+  const Injector injector(fleet, schedule, 6);
+  EXPECT_EQ(injector.fleet_at(1).group(0).server_count(), 7u);  // 30% of 10
+  EXPECT_EQ(injector.fleet_at(3).group(0).server_count(), 2u);  // max -> 80%
+  EXPECT_EQ(injector.fleet_at(5).group(0).server_count(), 2u);
+}
+
+TEST(FaultInjector, ResolvesStalenessDeadlinesAndCrashes) {
+  const dc::Fleet fleet = dc::make_homogeneous_fleet(1, 4);
+  Schedule schedule;
+  schedule.staleness = {{Channel::kLambda, 1, 4, 2},
+                        {Channel::kLambda, 2, 5, 1},  // max-merged with above
+                        {Channel::kRenewable, 3, 4, 6}};
+  schedule.deadlines = {{.begin = 2, .end = 5, .max_evaluations = 40},
+                        {.begin = 4, .end = 6, .max_evaluations = 10}};
+  schedule.crashes = {{.slot = 3}};
+  const Injector injector(fleet, schedule, 8);
+
+  EXPECT_FALSE(injector.staleness_at(0).any());
+  EXPECT_EQ(injector.staleness_at(1).lambda, 2u);
+  EXPECT_EQ(injector.staleness_at(2).lambda, 2u);  // max(2, 1)
+  EXPECT_EQ(injector.staleness_at(4).lambda, 1u);
+  EXPECT_EQ(injector.staleness_at(3).renewable, 6u);
+  EXPECT_EQ(injector.staleness_at(3).price, 0u);
+  EXPECT_EQ(injector.staleness_at(3).stale_channels(), 2);
+
+  EXPECT_EQ(injector.evaluation_budget(0), -1);  // unlimited
+  EXPECT_EQ(injector.evaluation_budget(2), 40);
+  EXPECT_EQ(injector.evaluation_budget(4), 10);  // min-merged
+  EXPECT_EQ(injector.evaluation_budget(5), 10);
+  EXPECT_EQ(injector.evaluation_budget(6), -1);
+
+  EXPECT_FALSE(injector.crash_before(2));
+  EXPECT_TRUE(injector.crash_before(3));
+  EXPECT_TRUE(injector.has_crashes());
+}
+
+TEST(FaultInjector, ValidatesScheduleAgainstFleetAndHorizon) {
+  const dc::Fleet fleet = dc::make_homogeneous_fleet(2, 4);
+  Schedule schedule;
+  schedule.outages = {{.group = 2, .begin = 0, .end = 1}};
+  EXPECT_THROW(Injector(fleet, schedule, 10), std::invalid_argument);
+  schedule.outages = {{.group = 1, .begin = 0, .end = 11}};
+  EXPECT_THROW(Injector(fleet, schedule, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coca

@@ -67,11 +67,11 @@ TEST(Scenario, BuildsPaperShapedSetup) {
   EXPECT_EQ(scenario.env.slots(), 300u);
   // Budget = 92% of unaware usage.
   EXPECT_NEAR(scenario.budget.total_allowance(),
-              0.92 * scenario.unaware_brown_kwh,
-              1e-6 * scenario.unaware_brown_kwh);
+              0.92 * scenario.unaware_brown_kwh.value(),
+              1e-6 * scenario.unaware_brown_kwh.value());
   // On-site ~20% of the reference energy.
-  EXPECT_NEAR(scenario.env.onsite_kw.total(), 0.20 * scenario.reference_energy_kwh,
-              1e-6 * scenario.reference_energy_kwh);
+  EXPECT_NEAR(scenario.env.onsite_kw.total(), 0.20 * scenario.reference_energy_kwh.value(),
+              1e-6 * scenario.reference_energy_kwh.value());
   // Off-site / REC split 40/60.
   EXPECT_NEAR(scenario.budget.offsite().total() /
                   (scenario.budget.offsite().total() + scenario.budget.recs_kwh()),

@@ -781,6 +781,52 @@ def check_obs_hygiene(files: list[SourceFile]) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# Check: fault-hooks
+
+FAULT_HOOK_DIR = "src/fault/"
+FAULT_HOOK_CLASS = "Injector"
+
+
+def check_fault_hooks(files: list[SourceFile]) -> list[Finding]:
+    """Every fault::Injector method either opens an obs::ScopedSpan or carries
+    an explicit // OBS-EXEMPT(<why>) waiver.  The injector's hooks run on the
+    simulator's per-slot hot path; an uninstrumented hook would make fault
+    handling invisible in span profiles exactly when it matters most."""
+    findings: list[Finding] = []
+    for sf in files:
+        if not sf.rel.startswith(FAULT_HOOK_DIR):
+            continue
+        functions, _ = parse_structure(sf.struct_text)
+        for fn in functions:
+            if fn.qualifier != FAULT_HOOK_CLASS:
+                continue
+            if fn.name.lstrip("~") == fn.qualifier:
+                continue  # ctor/dtor: construction is not a hook site
+            body = sf.struct_text[fn.body_start : fn.body_end]
+            if "ScopedSpan" in body:
+                continue
+            waived = any(
+                OBS_EXEMPT.search(sf.raw_lines[k])
+                for k in range(max(0, fn.sig_line - 1),
+                               min(fn.head_line + 1, len(sf.raw_lines)))
+            )
+            if waived:
+                continue
+            findings.append(
+                Finding(
+                    "fault-hooks",
+                    sf.rel,
+                    fn.head_line,
+                    f"fault::Injector hook `{fn.name}` opens no "
+                    "obs::ScopedSpan — degraded-mode work would vanish from "
+                    "span profiles; open a span or waive with "
+                    "// OBS-EXEMPT(<why>)",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Check: header-hygiene
 
 HYGIENE_EXEMPT = re.compile(r"HYGIENE-EXEMPT\(([^)]+)\)")
@@ -863,6 +909,7 @@ CHECKS = {
     "units-escape": ".value() escape hatches carry // UNITS: tags or an allowlisted solver-math boundary",
     "lock-discipline": "GUARDED_BY fields only touched under the named mutex (conservative, function-local)",
     "obs-hygiene": "solver/controller entry points open spans; <chrono> confined to obs/clock.hpp",
+    "fault-hooks": "fault::Injector hook sites open spans or carry // OBS-EXEMPT waivers",
     "header-hygiene": "#pragma once everywhere; <random>/<iostream> confined to their boundaries",
 }
 
@@ -902,6 +949,8 @@ def run_lint(
         findings += check_lock_discipline(files)
     if "obs-hygiene" in enabled:
         findings += check_obs_hygiene(files)
+    if "fault-hooks" in enabled:
+        findings += check_fault_hooks(files)
     if "header-hygiene" in enabled:
         findings += check_header_hygiene(files)
     findings.sort(key=lambda f: (f.path, f.line, f.check))
@@ -1121,6 +1170,44 @@ _FIXTURES: list[tuple[str, dict[str, str], str | None, list[str]]] = [
             "src/des/r.cpp": "struct R {};\n"
             "R ShardRunner::replay(int v) {\n"
             '  const obs::ScopedSpan span("des_replay");\n  return R{};\n}\n'
+        },
+        None,
+        [],
+    ),
+    (
+        "fault-hook-no-span",
+        {
+            "src/fault/i.cpp": "struct F {};\n"
+            "F Injector::fleet_at(int t) {\n  return F{};\n}\n"
+        },
+        None,
+        ["fault-hooks"],
+    ),
+    (
+        "fault-hook-span",
+        {
+            "src/fault/i.cpp": "struct F {};\n"
+            "F Injector::fleet_at(int t) {\n"
+            '  const obs::ScopedSpan span("fault_fleet_at");\n  return F{};\n}\n'
+        },
+        None,
+        [],
+    ),
+    (
+        "fault-hook-waiver",
+        {
+            "src/fault/i.cpp": "struct F {};\n"
+            "// OBS-EXEMPT(fixture: constant-time lookup under the sim span)\n"
+            "F Injector::crash_before(int t) {\n  return F{};\n}\n"
+        },
+        None,
+        [],
+    ),
+    (
+        "fault-hook-ctor-exempt",
+        {
+            "src/fault/i.cpp": "struct F {};\n"
+            "Injector::Injector(int t) {\n  (void)t;\n}\n"
         },
         None,
         [],

@@ -23,8 +23,8 @@ OUTPUT_DIR="${2:-bench/golden}"
 # The cheap, fully deterministic subset: each completes in seconds at the
 # pinned knobs (the figure benches all honour COCA_BENCH_HOURS/GROUPS, so
 # paper-scale granularity stays opt-in).  Benches left out of the golden
-# loop (abl_gsd, abl_gamma, ...) are still schema-validated by
-# bench_json_check in CI's obs-smoke job.
+# loop (abl_gsd, ...) are still schema-validated by bench_json_check in
+# CI's obs-smoke job.
 BENCHES=(
   fig1_traces
   fig2_impact_of_v
@@ -36,7 +36,9 @@ BENCHES=(
   fig5d_switching
   abl_portfolio
   abl_recs
+  abl_gamma
   fig_des_tail
+  fig_fault
 )
 
 export COCA_BENCH_HOURS=240
