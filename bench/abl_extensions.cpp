@@ -14,6 +14,7 @@
 #include "sim/scenario.hpp"
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   using namespace coca;
 
   sim::ScenarioConfig config = bench::default_scenario_config();

@@ -12,6 +12,7 @@
 #include "core/coca_controller.hpp"
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   using namespace coca;
 
   bench::banner("Ablation", "utilization cap gamma and delay weight beta");

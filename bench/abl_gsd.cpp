@@ -15,6 +15,7 @@
 #include "sim/scenario.hpp"
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   using namespace coca;
 
   bench::banner("Ablation", "GSD group granularity and temperature schedule");

@@ -13,6 +13,7 @@
 #include "core/calibration.hpp"
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   using namespace coca;
 
   sim::ScenarioConfig config = bench::default_scenario_config();

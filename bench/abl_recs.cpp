@@ -16,6 +16,7 @@
 #include "energy/price.hpp"
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   using namespace coca;
 
   sim::ScenarioConfig config = bench::default_scenario_config();

@@ -62,6 +62,7 @@ double calibrated_cost(const dc::Fleet& fleet, const sim::Scenario& base,
 }  // namespace
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   sim::ScenarioConfig config = bench::default_scenario_config();
   config.hours = std::min<std::size_t>(config.hours, 2'190);
   config.fleet.group_count = 12;

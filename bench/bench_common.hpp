@@ -22,11 +22,26 @@
 #include <string>
 
 #include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
 #include "util/table.hpp"
 
 namespace coca::bench {
+
+/// Installs a metrics registry as the process-global sink for the bench's
+/// lifetime, so runtime instruments (pool queue depth, trace drops, async
+/// sink backlog) accumulate somewhere reportable.  Declare first thing in
+/// main(); emit_bench_report folds the readings into the JSON artifact.
+class ObsScope {
+ public:
+  ObsScope() : scope_(&registry_) {}
+  obs::Registry& registry() { return registry_; }
+
+ private:
+  obs::Registry registry_;
+  obs::GlobalRegistryScope scope_;
+};
 
 inline std::size_t env_size(const char* name, std::size_t fallback) {
   const char* value = std::getenv(name);
@@ -81,14 +96,36 @@ inline void emit(const util::Table& table) {
   }
 }
 
+/// Append the runtime-health readings the health plane watches — pool queue
+/// high-water, dropped trace records, async-sink backlog high-water — as an
+/// "obs_runtime" result.  The high-water marks are scheduler-shaped, so
+/// tools/bench_diff.py timing-classes them ("high_water" substring);
+/// trace_dropped is exact and must stay 0 in every golden run (a drop in a
+/// deterministic bench is a real regression, not noise).
+inline void append_runtime_obs(obs::BenchReport& report) {
+  const obs::Registry* registry = obs::global();
+  obs::BenchResult entry;
+  entry.name = "obs_runtime";
+  entry.meta["pool_queue_high_water"] =
+      registry ? registry->gauge_max("pool.queue_high_water") : 0.0;
+  entry.meta["trace_dropped"] =
+      registry ? static_cast<double>(registry->counter_value("obs.trace_dropped"))
+               : 0.0;
+  entry.meta["sink_high_water"] =
+      registry ? registry->gauge_max("obs.sink_high_water") : 0.0;
+  report.add(entry);
+}
+
 /// Write the machine-readable BENCH_<suite>.json artifact (schema
 /// "coca-bench-v1", see src/obs/bench_report.hpp) when the run opted in via
-/// COCA_BENCH_JSON=1 or COCA_BENCH_JSON_DIR.  Prints the path written so CI
-/// logs link output to artifact.
-inline void emit_bench_report(const obs::BenchReport& report) {
+/// COCA_BENCH_JSON=1 or COCA_BENCH_JSON_DIR.  Appends the obs_runtime
+/// result first, so every artifact carries the runtime-health readings.
+/// Prints the path written so CI logs link output to artifact.
+inline void emit_bench_report(obs::BenchReport& report) {
   if (!env_flag("COCA_BENCH_JSON") && !std::getenv("COCA_BENCH_JSON_DIR")) {
     return;
   }
+  append_runtime_obs(report);
   std::cout << "bench json: " << report.write() << "\n";
 }
 

@@ -15,6 +15,7 @@
 #include "workload/msr_like.hpp"
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   using namespace coca;
 
   bench::banner("Fig. 1(a)", "FIU-like annual workload trace (normalized)");

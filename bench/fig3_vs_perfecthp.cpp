@@ -12,6 +12,7 @@
 #include "util/moving_average.hpp"
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   using namespace coca;
 
   const auto scenario = sim::build_scenario(bench::default_scenario_config());

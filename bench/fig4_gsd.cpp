@@ -16,6 +16,7 @@
 #include "sim/scenario.hpp"
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   using namespace coca;
 
   // The paper's GSD snapshot uses the full 200-group granularity.

@@ -8,6 +8,7 @@
 #include "fig5_budget_common.hpp"
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   coca::bench::banner("Fig. 5(a)",
                       "normalized cost vs carbon budget (FIU-like workload)");
   coca::bench::run_budget_sweep("fig5a_budget_fiu",

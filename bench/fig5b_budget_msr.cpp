@@ -7,6 +7,7 @@
 #include "fig5_budget_common.hpp"
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   coca::bench::banner("Fig. 5(b)",
                       "normalized cost vs carbon budget (MSR-like workload)");
   coca::bench::run_budget_sweep("fig5b_budget_msr",

@@ -76,6 +76,7 @@ void write_trace(const std::string& dir, const std::string& name,
 }  // namespace
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   const auto scenario = sim::build_scenario(bench::default_scenario_config());
 
   bench::banner("DES tail figure",

@@ -100,6 +100,7 @@ std::string point_label(const FaultPoint& point) {
 }  // namespace
 
 int main() {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   const auto scenario = sim::build_scenario(bench::default_scenario_config());
 
   bench::banner("fault-injection figure",

@@ -1,0 +1,147 @@
+// health_smoke: artifact producer for the CI health-smoke gate.
+//
+// Runs a small COCA scenario (GSD engine) with the full runtime health plane
+// attached — HealthMonitor watchdogs, metrics registry, masked Prometheus
+// Exporter — and writes the slot trace + coca-health-v1 events as JSONL so
+// obs_query can gate on them.  Three modes:
+//
+//   health_smoke clean <trace.jsonl> <expo.txt> <threads>
+//       Clean run.  Gate expectations: obs_query health-summary reports zero
+//       warn/critical, and <expo.txt> is byte-identical at any <threads>
+//       (machine-state instruments are masked).
+//
+//   health_smoke faulted <trace.jsonl>
+//       Same run under a seeded outage + staleness fault schedule.  Gate:
+//       degraded_mode (and any shed) alerts fire *labeled* — expected=true,
+//       no unexpected warn/critical.
+//
+//   health_smoke violation <trace.jsonl>
+//       Clean run checked against a deliberately shrunken queue bound (the
+//       seeded violation of ISSUE acceptance): queue_bound must page.
+//
+// Every mode exits 0 when the run itself succeeds; pass/fail semantics live
+// in obs_query (cmake/HealthSmoke.cmake drives both).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/coca_controller.hpp"
+#include "fault/schedule.hpp"
+#include "obs/exposition.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace coca;
+
+sim::Scenario smoke_scenario() {
+  sim::ScenarioConfig config;
+  config.hours = 96;
+  config.fleet.total_servers = 2'000;
+  config.fleet.group_count = 4;
+  config.peak_rate = 10'000.0;
+  return sim::build_scenario(config);
+}
+
+core::CocaConfig gsd_config(const sim::Scenario& scenario, int threads) {
+  core::CocaConfig config;
+  config.weights = scenario.weights;
+  config.schedule = core::VSchedule::constant(1e4);
+  config.alpha = scenario.budget.alpha();
+  config.rec_per_slot = scenario.budget.rec_per_slot();
+  config.engine = core::P3Engine::kGsd;
+  config.gsd.iterations = 120;
+  config.gsd.chains = 3;
+  config.gsd.threads = threads;
+  config.gsd.seed = 9;
+  return config;
+}
+
+int run(const std::string& mode, const std::string& trace_path,
+        const std::string& expo_path, int threads) {
+  const sim::Scenario scenario = smoke_scenario();
+
+  obs::Registry registry;
+  const obs::GlobalRegistryScope registry_scope(&registry);
+  obs::SpanProfiler profiler;
+  const obs::SpanProfilerScope profiler_scope(&profiler);
+
+  obs::HealthConfig health_config = sim::default_health_config(scenario);
+  if (mode == "violation") {
+    // Seeded queue-bound violation: shrink the Theorem 2(a) constants until
+    // the real (healthy) queue towers over the bound — the watchdog must
+    // page even though the run itself is clean.
+    health_config.queue_bound.max_increment_kwh = 1e-3;
+    health_config.queue_bound.max_slot_cost = 1e-6;
+  }
+
+  obs::SlotTraceWriter trace;
+  obs::HealthMonitor health(health_config, &trace);
+
+  obs::Exporter::Options exporter_options;
+  exporter_options.path = expo_path;
+  exporter_options.cadence_slots = 24;
+  exporter_options.exposition.mask_timing = true;
+  obs::Exporter exporter(exporter_options);
+
+  fault::Schedule schedule;
+  if (mode == "faulted") {
+    fault::Profile profile;
+    profile.outage_rate = 0.4;
+    profile.staleness_lag = 2;
+    schedule = fault::Schedule::generate(profile, scenario.fleet.group_count(),
+                                         scenario.env.slots());
+  }
+
+  core::CocaController controller(scenario.fleet,
+                                  gsd_config(scenario, threads));
+  sim::SimOptions options;
+  options.trace = &trace;
+  options.health = &health;
+  if (!expo_path.empty()) options.exporter = &exporter;
+  if (!schedule.empty()) options.faults = &schedule;
+  sim::run_simulation(scenario.fleet, scenario.env, controller,
+                      scenario.weights, options);
+
+  trace.set_footer(profiler.to_json());
+  trace.write_jsonl_file(trace_path);
+  if (!expo_path.empty()) exporter.write_now(registry);
+
+  const obs::HealthStats& stats = health.stats();
+  std::cout << "health_smoke " << mode << ": slots " << scenario.env.slots()
+            << ", health info " << stats.info << " warn " << stats.warn
+            << " critical " << stats.critical << ", exposition writes "
+            << exporter.writes() << '\n';
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto arg = [&](int i) {
+    return i < argc ? std::string(argv[i]) : std::string();
+  };
+  const std::string mode = arg(1);
+  const std::string trace_path = arg(2);
+  if (trace_path.empty() ||
+      (mode != "clean" && mode != "faulted" && mode != "violation")) {
+    std::cout << "usage: health_smoke clean <trace.jsonl> <expo.txt> "
+                 "<threads>\n"
+                 "       health_smoke faulted <trace.jsonl>\n"
+                 "       health_smoke violation <trace.jsonl>\n";
+    return 2;
+  }
+  const std::string expo_path = arg(3);
+  const int threads = arg(4).empty() ? 1 : std::atoi(argv[4]);
+  try {
+    return run(mode, trace_path, expo_path, threads);
+  } catch (const std::exception& error) {
+    std::cerr << "health_smoke: " << error.what() << '\n';
+    return 1;
+  }
+}

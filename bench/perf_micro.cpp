@@ -17,6 +17,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/coca_controller.hpp"
 #include "core/deficit_queue.hpp"
 #include "des/job_source.hpp"
@@ -470,12 +471,14 @@ void report_sweep_scaling() {
   report.add(scaled);
   add_load_lp_regression(report);
   add_span_profile(report, scenario);
+  bench::append_runtime_obs(report);
   std::cout << "bench json: " << report.write() << "\n\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  coca::bench::ObsScope obs_scope;  // global metrics sink for obs_runtime
   report_sweep_scaling();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,0 +1,50 @@
+# Health-plane smoke gate (run via ctest and the CI health-smoke job; see
+# bench/CMakeLists.txt).  Drives bench/health_smoke through its three modes
+# and gates the artifacts with obs_query:
+#   * clean run: schema-valid trace, zero unexpected warn/critical, masked
+#     slot trace AND Prometheus exposition byte-identical at 1 vs 4 threads;
+#   * faulted run: alerts fire, but every warn/critical is labeled expected
+#     (degraded_mode must be among them);
+#   * seeded queue-bound violation: the queue_bound watchdog pages.
+#
+# Expected variables: HEALTH_SMOKE, OBS_QUERY, OUT_DIR.
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    list(JOIN ARGV " " pretty)
+    message(FATAL_ERROR "health smoke step failed (${rc}): ${pretty}")
+  endif()
+endfunction()
+
+# Clean runs at two thread counts.
+run_checked("${HEALTH_SMOKE}" clean "${OUT_DIR}/clean_t1.jsonl"
+            "${OUT_DIR}/expo_t1.txt" 1)
+run_checked("${HEALTH_SMOKE}" clean "${OUT_DIR}/clean_t4.jsonl"
+            "${OUT_DIR}/expo_t4.txt" 4)
+run_checked("${OBS_QUERY}" validate "${OUT_DIR}/clean_t1.jsonl")
+run_checked("${OBS_QUERY}" health-summary "${OUT_DIR}/clean_t1.jsonl"
+            --fail-on-unexpected)
+run_checked("${OBS_QUERY}" diff "${OUT_DIR}/clean_t1.jsonl"
+            "${OUT_DIR}/clean_t4.jsonl")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT_DIR}/expo_t1.txt"
+          "${OUT_DIR}/expo_t4.txt"
+  RESULT_VARIABLE expo_rc)
+if(NOT expo_rc EQUAL 0)
+  message(FATAL_ERROR
+          "masked Prometheus exposition differs between 1 and 4 threads")
+endif()
+
+# Faulted run: labeled alerts only.
+run_checked("${HEALTH_SMOKE}" faulted "${OUT_DIR}/faulted.jsonl")
+run_checked("${OBS_QUERY}" validate "${OUT_DIR}/faulted.jsonl")
+run_checked("${OBS_QUERY}" health-summary "${OUT_DIR}/faulted.jsonl"
+            --fail-on-unexpected --require degraded_mode)
+
+# Seeded queue-bound violation: the watchdog must page.
+run_checked("${HEALTH_SMOKE}" violation "${OUT_DIR}/violation.jsonl")
+run_checked("${OBS_QUERY}" health-summary "${OUT_DIR}/violation.jsonl"
+            --require queue_bound)

@@ -33,6 +33,17 @@ struct GroupSim {
   double speed = 0.0;  ///< last applied speed (skip redundant reschedules)
 };
 
+/// Group-keyed instrument name, e.g. "des.group[7].arrivals".  Keying by
+/// group (never by shard) is what keeps the names disjoint across shards
+/// and the merged registry invariant to the shard layout.
+std::string group_metric(std::size_t g, const char* suffix) {
+  std::string name = "des.group[";
+  name += std::to_string(g);
+  name += "].";
+  name += suffix;
+  return name;
+}
+
 /// Apply one group's slot decision at the boundary: speed via set_speed
 /// (x_i(t)), per-server arrival rate via the load split.  Groups switched
 /// off keep their last speed so in-flight requests drain.
@@ -130,6 +141,17 @@ ShardReplayResult ShardRunner::replay(
         stream_seed(config_.seed, g));
   }
 
+  // Per-shard registries: written only by the shard's worker inside the
+  // parallel region (group-keyed names, slot order), snapshotted serially
+  // after the run.
+  std::vector<std::unique_ptr<obs::Registry>> shard_registries;
+  if (config_.shard_registries) {
+    shard_registries.reserve(shards_);
+    for (std::size_t s = 0; s < shards_; ++s) {
+      shard_registries.push_back(std::make_unique<obs::Registry>());
+    }
+  }
+
   // Per-slot cumulative snapshots, for the slot-delta trace.
   obs::TailHistogram cumulative(config_.histogram);
   std::uint64_t seen_arrivals = 0;
@@ -150,6 +172,23 @@ ShardReplayResult ShardRunner::replay(
         apply_decision(groups[g], fleet_->group(g), alloc[g]);
       }
       engines[s].run_until(boundary);
+      if (config_.shard_registries) {
+        obs::Registry& registry = *shard_registries[s];
+        for (const std::size_t g : shard_groups[s]) {
+          const auto stats = groups[g].queue->stats();
+          // Cumulative totals as gauges (merge = max recovers the final
+          // value); per-boundary occupancy as a histogram, recorded in slot
+          // order by the one worker that owns the group.
+          registry.gauge(group_metric(g, "arrivals"))
+              .set(static_cast<double>(stats.arrivals));
+          registry.gauge(group_metric(g, "completions"))
+              .set(static_cast<double>(stats.completions));
+          registry
+              .histogram(group_metric(g, "inflight_jobs"))
+              .record(static_cast<double>(groups[g].queue->jobs_in_system()));
+          registry.counter(group_metric(g, "slot_boundaries")).add(1);
+        }
+      }
     });
 
     if (config_.trace_slots) {
@@ -193,6 +232,14 @@ ShardReplayResult ShardRunner::replay(
     result.total_response_seconds += stats.total_response_seconds;
     result.area_jobs += stats.area_jobs;
     result.in_flight += group.queue->jobs_in_system();
+  }
+  if (config_.shard_registries) {
+    result.shard_registry_snapshots.reserve(shards_);
+    for (const auto& registry : shard_registries) {
+      result.shard_registry_snapshots.push_back(
+          obs::snapshot_registry(*registry));
+    }
+    result.registry = obs::merge_snapshots(result.shard_registry_snapshots);
   }
   return result;
 }

@@ -31,6 +31,7 @@
 
 #include "dc/power_model.hpp"
 #include "des/slot_replay.hpp"
+#include "obs/exposition.hpp"
 #include "obs/tail_histogram.hpp"
 #include "util/thread_pool.hpp"
 
@@ -43,6 +44,12 @@ struct ShardReplayConfig {
   std::uint64_t seed = 9;
   obs::TailHistogram::Config histogram{};
   bool trace_slots = false;      ///< collect per-slot tail traces (JSONL)
+  /// Give each shard a private obs::Registry populated with *group-keyed*
+  /// instruments ("des.group[g].arrivals", ...).  Because groups partition
+  /// round-robin, the names are disjoint across shards, so the merged
+  /// snapshot (ShardReplayResult::registry) is bit-identical regardless of
+  /// shard count and thread count — pinned by tests/obs_exposition_test.cpp.
+  bool shard_registries = false;
 };
 
 inline constexpr const char* kDesTraceSchema = "coca-des-trace-v1";
@@ -73,6 +80,10 @@ struct ShardReplayResult {
   double area_jobs = 0.0;              ///< sum of per-group occupancy integrals
   double duration_seconds = 0.0;       ///< simulated horizon
   std::vector<DesSlotTrace> slot_traces;  ///< when config.trace_slots
+  /// When config.shard_registries: one snapshot per shard, in shard order,
+  /// and their exact merge (obs/exposition.hpp semantics).
+  std::vector<obs::RegistrySnapshot> shard_registry_snapshots;
+  obs::RegistrySnapshot registry;
 
   double mean_response_seconds() const {
     return completions ? total_response_seconds /

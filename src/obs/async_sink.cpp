@@ -68,12 +68,21 @@ AsyncTraceSink::~AsyncTraceSink() {
   // The writer drained the ring before exiting; finish the file.
   if (!footer_.empty()) *out_ << footer_ << '\n';
   out_->flush();
+  // Final saturation reading for BENCH reports (null-safe when no registry
+  // is installed); the writer is joined, so high_water_ is stable.
+  gauge_set("obs.sink_high_water", static_cast<double>(high_water_));
 }
 
 void AsyncTraceSink::record(const SlotTrace& slot) {
   // Render on the producer thread: to_json_line is deterministic, so the
   // bytes handed to the ring are exactly what the sync path would write.
   enqueue(to_json_line(slot));
+}
+
+void AsyncTraceSink::record_line(const std::string& line) {
+  // Pre-rendered side-channel (health events): same ring, same
+  // backpressure, same FIFO interleaving with slot records.
+  enqueue(line);
 }
 
 void AsyncTraceSink::set_footer(std::string footer_line) {

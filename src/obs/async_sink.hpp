@@ -80,6 +80,9 @@ class AsyncTraceSink final : public TraceSink {
   /// producer: concurrent record() calls are not supported (the simulator
   /// loop is serial; parallel sweeps give each point its own sink).
   void record(const SlotTrace& slot) override;
+  /// Enqueue a pre-rendered JSONL line (health events) through the same
+  /// ring: backpressure, drop counting and FIFO order apply unchanged.
+  void record_line(const std::string& line) override;
   /// Trailing JSONL line written once, after the last record, at the final
   /// drain (destruction or the flush that follows the last record).
   void set_footer(std::string footer_line) override;

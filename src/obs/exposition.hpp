@@ -1,0 +1,122 @@
+#pragma once
+// Deterministic Prometheus-text exposition of the metrics registry, plus an
+// exact cross-shard snapshot merge.
+//
+// Rendering rules (the whole point is byte-stable output):
+//   * families are emitted in sorted order, one `# TYPE` line each;
+//   * instrument names are sanitized ('.' and every other character outside
+//     [a-zA-Z0-9_:] becomes '_') and prefixed with "coca_"; counters gain
+//     the conventional "_total" suffix;
+//   * numbers render via std::to_chars (obs/json.hpp), never the locale;
+//   * with ExpositionOptions::mask_timing, machine-state instruments —
+//     wall-clock readings (names ending "_ms"/"_ns") and scheduler-shaped
+//     readings (the "pool." family, high-water marks, worker counts) — are
+//     omitted entirely.  Omission rather than zeroing: whether a scheduler
+//     instrument even *exists* depends on which code paths ran, so only
+//     absence keeps the masked text byte-identical across thread counts.
+//
+// Merge semantics (des::ShardRunner aggregation):
+//   * counters add (exact: integers);
+//   * gauges combine element-wise by max (commutative + associative, exact
+//     on doubles), matching their "high water" use in this tree;
+//   * histograms add counts and sums and combine min/max.  Sums are
+//     floating-point, so merge_snapshots folds parts strictly in index
+//     order: for a fixed shard count the result is bit-identical at every
+//     thread count.  Shard registries additionally keep instrument names
+//     disjoint (per-group names), which makes the merge exact regardless
+//     of shard count as well — pinned by tests/obs_exposition_test.cpp.
+//
+// The Exporter writes the rendered text to a file on a slot cadence; like
+// every obs component it is write-only observation and never feeds back
+// into a decision.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/tail_histogram.hpp"
+
+namespace coca::obs {
+
+/// Plain-value snapshot of a Registry: name-sorted, copyable, mergeable.
+struct RegistrySnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Read every instrument of `registry` (0 values included).
+RegistrySnapshot snapshot_registry(const Registry& registry);
+
+/// Fold `from` into `into` under the merge semantics above.
+void merge_into(RegistrySnapshot& into, const RegistrySnapshot& from);
+
+/// Fold `parts` in index order into one snapshot.
+RegistrySnapshot merge_snapshots(const std::vector<RegistrySnapshot>& parts);
+
+struct ExpositionOptions {
+  /// Omit machine-state instruments so the exposition of a deterministic
+  /// run is itself deterministic (see header comment).
+  bool mask_timing = false;
+};
+
+/// True when `name` reads machine state rather than model state: wall clock
+/// ("_ms"/"_ns" suffix, "timing") or scheduler shape (the "pool." family,
+/// "high_water", "queue_depth", ".threads").  The exposition analogue of
+/// obs::mask_timing_fields and of bench_diff.py's timing-classed metas.
+bool is_machine_instrument(std::string_view name);
+
+/// "pool.queue_high_water" -> "coca_pool_queue_high_water".
+std::string prometheus_name(std::string_view name);
+
+/// Render a snapshot as Prometheus text format (sorted families, trailing
+/// newline, deterministic bytes).
+std::string to_prometheus_text(const RegistrySnapshot& snapshot,
+                               const ExpositionOptions& options = {});
+
+/// Append one TailHistogram as a Prometheus histogram family with
+/// cumulative `le` buckets (empty bins are skipped; the overflow bin
+/// renders as le="+Inf").  `name` is sanitized/prefixed like every other
+/// instrument.  The sum is unknowable from bins, so none is emitted.
+void append_prometheus_tail_histogram(std::string& out, std::string_view name,
+                                      const TailHistogram& histogram);
+
+/// Writes the global-or-given registry's exposition to a file each time the
+/// slot index crosses the cadence.  The file is rewritten whole (snapshot
+/// semantics, like /metrics), not appended.
+class Exporter {
+ public:
+  struct Options {
+    std::string path;              ///< target file; empty keeps text in memory
+    std::size_t cadence_slots = 1; ///< write every N-th slot (t % N == 0)
+    ExpositionOptions exposition;
+  };
+
+  explicit Exporter(Options options);
+
+  /// Snapshot + render + write when `t` lands on the cadence.  Called once
+  /// per slot, in slot order, by the (serial) simulator loop.
+  void on_slot(std::size_t t, const Registry& registry);
+  /// Unconditional snapshot + render + write (final flush at end of run).
+  void write_now(const Registry& registry);
+
+  const Options& options() const { return options_; }
+  /// Most recent rendered exposition (tests; valid after the first write).
+  const std::string& last_text() const { return last_text_; }
+  std::int64_t writes() const { return writes_; }
+
+ private:
+  Options options_;
+  std::string last_text_;
+  std::int64_t writes_ = 0;
+};
+
+}  // namespace coca::obs

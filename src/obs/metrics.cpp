@@ -59,6 +59,37 @@ std::int64_t Registry::counter_value(std::string_view name) const {
   return it != counters_.end() ? it->second->value() : 0;
 }
 
+double Registry::gauge_max(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second->max() : 0.0;
+}
+
+std::map<std::string, std::int64_t> Registry::counter_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, GaugeSnapshot> Registry::gauge_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, GaugeSnapshot> out;
+  for (const auto& [name, gauge] : gauges_) {
+    out[name] = GaugeSnapshot{gauge->value(), gauge->max()};
+  }
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> Registry::histogram_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, histogram] : histograms_) {
+    out[name] = histogram->snapshot();
+  }
+  return out;
+}
+
 std::string Registry::to_json() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   // Plain appends (no `char + std::string` temporaries) — avoids GCC 12's

@@ -66,6 +66,11 @@ class Gauge {
   std::atomic<double> max_{0.0};
 };
 
+struct GaugeSnapshot {
+  double value = 0.0;
+  double max = 0.0;
+};
+
 struct HistogramSnapshot {
   std::int64_t count = 0;
   double sum = 0.0;
@@ -102,6 +107,14 @@ class Registry {
 
   /// Convenience for tests: current value of a counter (0 if absent).
   std::int64_t counter_value(std::string_view name) const;
+  /// Convenience for benches: a gauge's running maximum (0 if absent).
+  double gauge_max(std::string_view name) const;
+
+  /// Deterministic (name-sorted) enumeration snapshots — the raw material
+  /// for obs/exposition.hpp's RegistrySnapshot and Prometheus rendering.
+  std::map<std::string, std::int64_t> counter_values() const;
+  std::map<std::string, GaugeSnapshot> gauge_values() const;
+  std::map<std::string, HistogramSnapshot> histogram_values() const;
 
  private:
   mutable std::mutex mutex_;
@@ -137,6 +150,7 @@ class GlobalRegistryScope {
 
 inline void count(const char*, std::int64_t = 1) {}
 inline void gauge_set(const char*, double) {}
+// OBS-EXEMPT(no-op stub when observability is compiled out)
 inline void observe(const char*, double) {}
 
 /// Null sink: all members fold to nothing at -O1.
@@ -156,6 +170,7 @@ inline void gauge_set(const char* name, double v) {
   if (Registry* r = global()) r->gauge(name).set(v);
 }
 
+// OBS-EXEMPT(sub-microsecond hot-path recorder; a span here would dominate)
 inline void observe(const char* name, double v) {
   if (Registry* r = global()) r->histogram(name).record(v);
 }

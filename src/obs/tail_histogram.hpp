@@ -61,6 +61,9 @@ class TailHistogram {
 
   const Config& config() const { return config_; }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
+  /// Upper edge of bin `index` (indices address counts(): [0] is the
+  /// underflow bin, back() the overflow bin) — Prometheus bucket rendering.
+  double upper_edge(std::size_t index) const { return bin_upper_edge(index); }
 
  private:
   std::size_t bin_index(double value) const;

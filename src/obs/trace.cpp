@@ -56,6 +56,7 @@ std::string to_json_line(const SlotTrace& slot) {
 
 void SlotTraceWriter::write_jsonl(std::ostream& out) const {
   for (const auto& slot : slots_) out << to_json_line(slot) << '\n';
+  for (const auto& line : lines_) out << line << '\n';
   if (!footer_.empty()) out << footer_ << '\n';
 }
 
@@ -73,37 +74,67 @@ void SlotTraceWriter::write_jsonl_file(const std::string& path) const {
   write_jsonl(out);
 }
 
-std::string mask_timing_fields(const std::string& jsonl) {
+namespace {
+
+void append_masked_line(std::string& out, std::string_view line) {
   // Every key whose value is wall-clock derived; everything else in a trace
   // (and in the span-profile footer) is deterministic.
   static constexpr std::string_view kKeys[] = {
-      "\"solve_ms\":", "\"total_ms\":", "\"self_ms\":"};
-  std::string out;
-  out.reserve(jsonl.size());
+      "\"solve_ms\":", "\"total_ms\":", "\"self_ms\":",
+      "\"value_ms\":", "\"limit_ms\":"};
   std::size_t pos = 0;
-  while (pos < jsonl.size()) {
-    std::size_t hit = std::string::npos;
+  while (pos < line.size()) {
+    std::size_t hit = std::string_view::npos;
     std::size_t key_size = 0;
     for (const auto key : kKeys) {
-      const std::size_t candidate = jsonl.find(key, pos);
+      const std::size_t candidate = line.find(key, pos);
       if (candidate < hit) {
         hit = candidate;
         key_size = key.size();
       }
     }
-    if (hit == std::string::npos) {
-      out.append(jsonl, pos, std::string::npos);
-      break;
+    if (hit == std::string_view::npos) {
+      out.append(line, pos, std::string_view::npos);
+      return;
     }
     const std::size_t value_start = hit + key_size;
     std::size_t value_end = value_start;
-    while (value_end < jsonl.size() && jsonl[value_end] != ',' &&
-           jsonl[value_end] != '}' && jsonl[value_end] != '\n') {
+    while (value_end < line.size() && line[value_end] != ',' &&
+           line[value_end] != '}') {
       ++value_end;
     }
-    out.append(jsonl, pos, value_start - pos);
+    out.append(line, pos, value_start - pos);
     out += '0';
     pos = value_end;
+  }
+}
+
+}  // namespace
+
+std::string mask_timing_fields(const std::string& jsonl) {
+  // coca-health-v1 timing rules (obs/health.hpp) fire off wall-clock
+  // readings, so whether such an event even *exists* varies run to run —
+  // zeroing its values is not enough.  Those lines are dropped whole; on
+  // every other line the timing values are zeroed in place (the line's
+  // existence is deterministic, only its readings are not).
+  std::string out;
+  out.reserve(jsonl.size());
+  std::size_t line_start = 0;
+  while (line_start < jsonl.size()) {
+    std::size_t line_end = jsonl.find('\n', line_start);
+    const bool has_newline = line_end != std::string::npos;
+    if (!has_newline) line_end = jsonl.size();
+    const std::string_view line(jsonl.data() + line_start,
+                                line_end - line_start);
+    const bool timing_health_event =
+        line.find("\"rule\":\"") != std::string_view::npos &&
+        line.find("\"value_ms\":") != std::string_view::npos;
+    if (!timing_health_event) {
+      append_masked_line(out, line);
+      if (has_newline) out += '\n';
+    }
+    if (!has_newline) break;
+    line_start = line_end + 1;
   }
   return out;
 }

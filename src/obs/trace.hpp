@@ -75,6 +75,11 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void record(const SlotTrace& slot) = 0;
+  /// Generic pre-rendered JSONL line (no trailing newline) — the channel
+  /// the health plane (obs/health.hpp) emits coca-health-v1 events through,
+  /// so async/backpressure semantics come from the sink unchanged.  Default:
+  /// ignored (sinks that only understand slot records stay valid).
+  virtual void record_line(const std::string& line) { (void)line; }
   /// Optional trailing JSONL line (e.g. the span-profile document from
   /// obs/span.hpp), written after every slot record.  Default: ignored.
   virtual void set_footer(std::string footer_line) { (void)footer_line; }
@@ -85,13 +90,20 @@ class TraceSink {
 class SlotTraceWriter : public TraceSink {
  public:
   void record(const SlotTrace& slot) override { slots_.push_back(slot); }
+  void record_line(const std::string& line) override {
+    lines_.push_back(line);
+  }
   void set_footer(std::string footer_line) override {
     footer_ = std::move(footer_line);
   }
   const std::vector<SlotTrace>& slots() const { return slots_; }
+  /// Generic JSONL lines (health events), in recorded order; written after
+  /// the slot records and before the footer.
+  const std::vector<std::string>& lines() const { return lines_; }
   std::size_t size() const { return slots_.size(); }
   void clear() {
     slots_.clear();
+    lines_.clear();
     footer_.clear();
   }
 
@@ -105,12 +117,15 @@ class SlotTraceWriter : public TraceSink {
 
  private:
   std::vector<SlotTrace> slots_;
+  std::vector<std::string> lines_;
   std::string footer_;
 };
 
 /// Zero every timing value (`solve_ms`, and the span profile's `total_ms` /
 /// `self_ms`) in a JSONL trace so golden tests can compare the
-/// deterministic remainder byte-for-byte.
+/// deterministic remainder byte-for-byte.  Timing-ruled coca-health-v1
+/// events (`value_ms`/`limit_ms` lines) are dropped whole: they fire off
+/// wall-clock readings, so even their existence varies run to run.
 std::string mask_timing_fields(const std::string& jsonl);
 
 }  // namespace coca::obs

@@ -1,5 +1,6 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -93,6 +94,36 @@ Scenario build_scenario(const ScenarioConfig& config) {
                   units::kwh(unaware_brown),
                   units::usd(unaware.metrics.total_cost()),
                   config};
+}
+
+obs::HealthConfig default_health_config(const Scenario& scenario) {
+  const ScenarioConfig& config = scenario.config;
+  const double y_max =
+      scenario.fleet.peak_power_kw() * config.pue * config.slot_hours;
+  double w_max = 0.0;
+  for (const double w : scenario.env.price.values()) w_max = std::max(w_max, w);
+  double f_max = 0.0;
+  for (const double f : scenario.env.offsite_kwh.values()) {
+    f_max = std::max(f_max, f);
+  }
+  const double z = scenario.rec_per_slot();
+  // Largest one-slot queue move: the increment is capped by the facility
+  // energy, the decrement by the slot allowance (Eq. 17).
+  const double b_max = std::max(y_max, config.alpha * (f_max + z));
+  // Occupancy of an M/G/1/PS server at the gamma cap is gamma/(1-gamma)
+  // jobs; clamp gamma away from 1 so a pathological config cannot produce
+  // an infinite envelope.
+  const double gamma = std::min(config.gamma, 0.99);
+  const double jobs_max = static_cast<double>(config.fleet.total_servers) *
+                          gamma / (1.0 - gamma);
+  const double g_max =
+      w_max * y_max + config.beta * jobs_max * config.slot_hours;
+
+  obs::HealthConfig health;
+  health.queue_bound.max_increment_kwh = b_max;
+  health.queue_bound.max_slot_cost = g_max;
+  health.neutrality_zeta_kwh = w_max;
+  return health;
 }
 
 }  // namespace coca::sim

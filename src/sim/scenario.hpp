@@ -79,4 +79,20 @@ SimResult run_carbon_unaware(const dc::Fleet& fleet, const Environment& env,
 /// Convenience: run COCA with a constant V over the scenario.
 SimResult run_coca_constant_v(const Scenario& scenario, double v);
 
+/// Watchdog configuration derived from the scenario's envelope (see
+/// obs/health.hpp for the rule set):
+///   * b_max = max(y_max, alpha*(f_max + z)) with y_max the peak facility
+///     energy per slot (peak kW * PUE * slot hours), f_max the largest
+///     off-site delivery and z the per-slot REC block — the largest possible
+///     one-slot carbon-queue move (Eq. 17);
+///   * g_max = w_max*y_max + beta*N*gamma/(1-gamma)*slot_hours — peak
+///     electricity spend plus the delay cost of every server running at the
+///     gamma utilization cap (M/G/1/PS occupancy gamma/(1-gamma) per server);
+///   * zeta = w_max: in the P3 price V*w + q the queue dominates every
+///     electricity price once q > V*w_max, so a gap above that scale means
+///     the deficit is no longer price-controllable.
+/// A clean COCA run never trips these (the Theorem 2(a) bound holds by
+/// construction); a seeded violation does — tests/obs_health_test.cpp.
+obs::HealthConfig default_health_config(const Scenario& scenario);
+
 }  // namespace coca::sim

@@ -72,6 +72,16 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
   obs::count("sim.runs");
   double rec_spend_before = 0.0;
 
+  // The health plane consumes the same per-slot record the trace sink gets,
+  // so a monitor without a sink still sees every field (including solve
+  // timing, which only ever feeds info-level events).
+  const bool want_slot_record =
+      options.trace != nullptr || options.health != nullptr;
+  obs::Registry* registry = obs::global();
+  std::int64_t drops_before =
+      registry != nullptr ? registry->counter_value("obs.trace_dropped") : 0;
+  std::int64_t last_checkpoint_slot = 0;
+
   std::size_t last_fleet_index = 0;
   dc::Allocation previous(fleet.group_count());
   for (std::size_t t = 0; t < env.slots(); ++t) {
@@ -137,9 +147,9 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
       controller.set_evaluation_budget(eval_budget);
     }
 
-    // Clock reads happen only when a trace asks for them (obs boundary);
-    // the readings never influence the run.
-    const std::int64_t solve_start_ns = options.trace ? obs::now_ns() : 0;
+    // Clock reads happen only when a trace or health monitor asks for them
+    // (obs boundary); the readings never influence the run.
+    const std::int64_t solve_start_ns = want_slot_record ? obs::now_ns() : 0;
     opt::SlotSolution plan;
     bool fallback_used = false;
     if (eval_budget == 0) {
@@ -154,7 +164,7 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
       plan = controller.plan(t, planned_input);
     }
     const std::int64_t solve_ns =
-        options.trace ? obs::now_ns() - solve_start_ns : 0;
+        want_slot_record ? obs::now_ns() - solve_start_ns : 0;
 
     const opt::SlotInput actual_input{env.workload[t], env.onsite_kw[t],
                                       env.price[t]};
@@ -237,6 +247,7 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
 
     if (checkpointing && (t + 1) % injector->checkpoint_every() == 0) {
       last_checkpoint = controller.checkpoint(t + 1);
+      last_checkpoint_slot = static_cast<std::int64_t>(t) + 1;
       ++fstats.checkpoints_taken;
       obs::count("fault.checkpoints");
     }
@@ -262,7 +273,7 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
     record.fallback = fallback_used;
     result.metrics.record(record);
 
-    if (options.trace != nullptr) {
+    if (want_slot_record) {
       obs::SlotTrace slot;
       slot.t = t;
       slot.lambda = env.workload[t];
@@ -294,7 +305,26 @@ SimResult run_simulation(const dc::Fleet& fleet, const Environment& env,
       slot.fallback = fallback_used;
       slot.shed_lambda = shed_lambda;
       slot.solve_ms = static_cast<double>(solve_ns) / 1e6;
-      options.trace->record(slot);
+      if (options.trace != nullptr) options.trace->record(slot);
+      if (options.health != nullptr) {
+        // Sink first, monitor second: drops the async sink counted while
+        // enqueueing this very record land in this slot's delta.
+        obs::SlotHealthContext ctx;
+        ctx.slots_since_checkpoint =
+            checkpointing ? static_cast<std::int64_t>(t) + 1 - last_checkpoint_slot
+                          : -1;
+        if (registry != nullptr) {
+          const std::int64_t drops_now =
+              registry->counter_value("obs.trace_dropped");
+          ctx.trace_drops = drops_now - drops_before;
+          drops_before = drops_now;
+        }
+        options.health->on_slot(slot, ctx);
+      }
+    }
+
+    if (options.exporter != nullptr && registry != nullptr) {
+      options.exporter->on_slot(t, *registry);
     }
 
     if (options.record_allocations != nullptr) {

@@ -9,6 +9,8 @@
 #include "core/controller.hpp"
 #include "dc/switching.hpp"
 #include "fault/injector.hpp"
+#include "obs/exposition.hpp"
+#include "obs/health.hpp"
 #include "obs/trace.hpp"
 #include "sim/environment.hpp"
 #include "sim/metrics.hpp"
@@ -37,6 +39,16 @@ struct SimOptions {
   /// the actual workload); passing a non-empty schedule with
   /// `rebalance_actual == false` throws std::invalid_argument.
   const fault::Schedule* faults = nullptr;
+  /// Optional runtime health plane (obs/health.hpp): every slot's trace
+  /// record — built even when `trace` is null — is evaluated against the
+  /// watchdog rule set.  Strictly read-only: attaching a monitor never
+  /// changes a single decision or billed number (pass-through pinned by
+  /// tests/obs_health_test.cpp).
+  obs::HealthMonitor* health = nullptr;
+  /// Optional Prometheus exposition (obs/exposition.hpp): the installed
+  /// global metrics registry is snapshotted and written on the exporter's
+  /// slot cadence.  No-op when no global registry is installed.
+  obs::Exporter* exporter = nullptr;
 };
 
 struct SimResult {

@@ -1,0 +1,397 @@
+// Contract tests for the deterministic metrics exposition
+// (obs/exposition.hpp):
+//   * registry snapshots, the exact merge semantics (counters add, gauges
+//     max, histograms combine) and strict fold order,
+//   * Prometheus text rendering: sorted families, sanitized names, and the
+//     masking contract — machine-state instruments are OMITTED, so masked
+//     text is independent of which scheduler paths ran,
+//   * Histogram / TailHistogram edge cases: empty, single-sample,
+//     underflow/overflow clamping, merge-of-empty,
+//   * Exporter cadence and whole-file rewrite,
+//   * des::ShardRunner registry aggregation: the merged snapshot is
+//     bit-identical across shard counts and thread counts.
+
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dc/fleet.hpp"
+#include "des/shard_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tail_histogram.hpp"
+
+namespace coca::obs {
+namespace {
+
+TEST(Exposition, SnapshotCapturesEveryInstrumentKind) {
+  Registry registry;
+  registry.counter("sim.slots").add(5);
+  registry.gauge("coca.queue_kwh").set(3.0);
+  registry.gauge("coca.queue_kwh").set(2.0);  // max stays 3
+  registry.histogram("gsd.accept").record(1.0);
+  registry.histogram("gsd.accept").record(3.0);
+
+  const RegistrySnapshot snap = snapshot_registry(registry);
+  EXPECT_EQ(snap.counters.at("sim.slots"), 5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("coca.queue_kwh").value, 2.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("coca.queue_kwh").max, 3.0);
+  EXPECT_EQ(snap.histograms.at("gsd.accept").count, 2);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("gsd.accept").sum, 4.0);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("gsd.accept").min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("gsd.accept").max, 3.0);
+  EXPECT_FALSE(snap.empty());
+  EXPECT_TRUE(RegistrySnapshot{}.empty());
+}
+
+TEST(Exposition, PrometheusNameSanitizes) {
+  EXPECT_EQ(prometheus_name("pool.queue_high_water"),
+            "coca_pool_queue_high_water");
+  EXPECT_EQ(prometheus_name("des.group[7].arrivals"),
+            "coca_des_group_7__arrivals");
+}
+
+TEST(Exposition, MachineInstrumentClassification) {
+  EXPECT_TRUE(is_machine_instrument("core.solve_ms"));
+  EXPECT_TRUE(is_machine_instrument("span.total_ns"));
+  EXPECT_TRUE(is_machine_instrument("pool.tasks_submitted"));
+  EXPECT_TRUE(is_machine_instrument("obs.sink_high_water"));
+  EXPECT_TRUE(is_machine_instrument("pool.queue_depth"));
+  EXPECT_TRUE(is_machine_instrument("sweep.threads"));
+  EXPECT_TRUE(is_machine_instrument("health.events_timing"));
+  EXPECT_FALSE(is_machine_instrument("coca.queue_kwh"));
+  EXPECT_FALSE(is_machine_instrument("sim.slots"));
+  EXPECT_FALSE(is_machine_instrument("gsd.evaluations"));
+}
+
+TEST(Exposition, RendersSortedFamiliesWithTypes) {
+  RegistrySnapshot snap;
+  snap.counters["sim.slots"] = 3;
+  snap.gauges["coca.queue_kwh"] = {2.0, 5.0};
+  HistogramSnapshot hist;
+  hist.count = 2;
+  hist.sum = 4.0;
+  hist.min = 1.0;
+  hist.max = 3.0;
+  snap.histograms["gsd.accept"] = hist;
+
+  const std::string text = to_prometheus_text(snap);
+  EXPECT_EQ(text,
+            "# TYPE coca_coca_queue_kwh gauge\n"
+            "coca_coca_queue_kwh 2\n"
+            "# TYPE coca_coca_queue_kwh_max gauge\n"
+            "coca_coca_queue_kwh_max 5\n"
+            "# TYPE coca_gsd_accept summary\n"
+            "coca_gsd_accept_count 2\n"
+            "coca_gsd_accept_sum 4\n"
+            "# TYPE coca_gsd_accept_max gauge\n"
+            "coca_gsd_accept_max 3\n"
+            "# TYPE coca_gsd_accept_min gauge\n"
+            "coca_gsd_accept_min 1\n"
+            "# TYPE coca_sim_slots_total counter\n"
+            "coca_sim_slots_total 3\n");
+}
+
+TEST(Exposition, MaskOmitsMachineInstrumentsEntirely) {
+  // Two registries describing the same model run on different scheduler
+  // shapes: one never touched the pool (1 thread), one did (N threads).
+  Registry serial, parallel;
+  for (Registry* registry : {&serial, &parallel}) {
+    registry->counter("sim.slots").add(96);
+    registry->gauge("coca.queue_kwh").set(12.5);
+  }
+  parallel.counter("pool.tasks_submitted").add(40);
+  parallel.gauge("pool.queue_high_water").set(7.0);
+  parallel.histogram("core.solve_ms").record(3.25);
+
+  ExpositionOptions masked;
+  masked.mask_timing = true;
+  const std::string serial_text =
+      to_prometheus_text(snapshot_registry(serial), masked);
+  const std::string parallel_text =
+      to_prometheus_text(snapshot_registry(parallel), masked);
+  EXPECT_EQ(serial_text, parallel_text)
+      << "masked exposition must not depend on which machine instruments "
+         "exist";
+  EXPECT_EQ(parallel_text.find("pool"), std::string::npos);
+  EXPECT_EQ(parallel_text.find("solve_ms"), std::string::npos);
+  // Unmasked, the machine families are all there.
+  const std::string full = to_prometheus_text(snapshot_registry(parallel));
+  EXPECT_NE(full.find("coca_pool_tasks_submitted_total 40"),
+            std::string::npos);
+  EXPECT_NE(full.find("coca_pool_queue_high_water 7"), std::string::npos);
+}
+
+TEST(Exposition, MergeSemanticsPerKind) {
+  RegistrySnapshot a, b;
+  a.counters["sim.slots"] = 3;
+  b.counters["sim.slots"] = 4;
+  b.counters["only_b"] = 1;
+  a.gauges["depth"] = {2.0, 6.0};
+  b.gauges["depth"] = {5.0, 5.0};
+  HistogramSnapshot ha, hb;
+  ha.count = 2;
+  ha.sum = 3.0;
+  ha.min = 1.0;
+  ha.max = 2.0;
+  hb.count = 1;
+  hb.sum = 0.5;
+  hb.min = 0.5;
+  hb.max = 0.5;
+  a.histograms["h"] = ha;
+  b.histograms["h"] = hb;
+
+  RegistrySnapshot merged = a;
+  merge_into(merged, b);
+  EXPECT_EQ(merged.counters.at("sim.slots"), 7);
+  EXPECT_EQ(merged.counters.at("only_b"), 1);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("depth").value, 5.0);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("depth").max, 6.0);
+  EXPECT_EQ(merged.histograms.at("h").count, 3);
+  EXPECT_DOUBLE_EQ(merged.histograms.at("h").sum, 3.5);
+  EXPECT_DOUBLE_EQ(merged.histograms.at("h").min, 0.5);
+  EXPECT_DOUBLE_EQ(merged.histograms.at("h").max, 2.0);
+}
+
+TEST(Exposition, MergeOfEmptyHistogramKeepsFamilyWithoutPoisoningMinMax) {
+  RegistrySnapshot filled, empty;
+  HistogramSnapshot h;
+  h.count = 2;
+  h.sum = 10.0;
+  h.min = 4.0;
+  h.max = 6.0;
+  filled.histograms["h"] = h;
+  empty.histograms["h"] = HistogramSnapshot{};  // recorded family, no samples
+  empty.histograms["only_empty"] = HistogramSnapshot{};
+
+  // empty <- filled: adopts the filled stats wholesale.
+  RegistrySnapshot into_empty = empty;
+  merge_into(into_empty, filled);
+  EXPECT_EQ(into_empty.histograms.at("h").count, 2);
+  EXPECT_DOUBLE_EQ(into_empty.histograms.at("h").min, 4.0);
+
+  // filled <- empty: a zero-count part must not drag min to 0.
+  RegistrySnapshot into_filled = filled;
+  merge_into(into_filled, empty);
+  EXPECT_EQ(into_filled.histograms.at("h").count, 2);
+  EXPECT_DOUBLE_EQ(into_filled.histograms.at("h").min, 4.0);
+  EXPECT_DOUBLE_EQ(into_filled.histograms.at("h").max, 6.0);
+  // ... but the empty-only family stays visible in the merge.
+  EXPECT_EQ(into_filled.histograms.at("only_empty").count, 0);
+
+  // Merging nothing at all yields an empty snapshot.
+  EXPECT_TRUE(merge_snapshots({}).empty());
+  EXPECT_TRUE(merge_snapshots({RegistrySnapshot{}, RegistrySnapshot{}}).empty());
+}
+
+TEST(Exposition, MergeSnapshotsEqualsSequentialFold) {
+  std::vector<RegistrySnapshot> parts(3);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    parts[i].counters["c"] = static_cast<std::int64_t>(i + 1);
+    HistogramSnapshot h;
+    h.count = 1;
+    h.sum = 0.1 * static_cast<double>(i + 1);  // inexact in binary: order matters
+    h.min = h.max = h.sum;
+    parts[i].histograms["h"] = h;
+  }
+  RegistrySnapshot manual;
+  for (const auto& part : parts) merge_into(manual, part);
+  const RegistrySnapshot folded = merge_snapshots(parts);
+  EXPECT_EQ(folded.counters.at("c"), manual.counters.at("c"));
+  // Bit-exact: same fold order by construction.
+  EXPECT_EQ(folded.histograms.at("h").sum, manual.histograms.at("h").sum);
+}
+
+// --- Histogram / TailHistogram edge cases ---------------------------------
+
+TEST(HistogramEdge, EmptyAndSingleSample) {
+  Histogram hist;
+  EXPECT_EQ(hist.snapshot().count, 0);
+  EXPECT_DOUBLE_EQ(hist.snapshot().mean(), 0.0);
+  hist.record(2.5);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_DOUBLE_EQ(snap.sum, 2.5);
+  EXPECT_DOUBLE_EQ(snap.min, 2.5);
+  EXPECT_DOUBLE_EQ(snap.max, 2.5);
+}
+
+TEST(TailHistogramEdge, EmptySingleUnderflowOverflow) {
+  TailHistogram empty;
+  EXPECT_EQ(empty.total(), 0u);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  TailHistogram single;
+  single.record(1.0);
+  EXPECT_EQ(single.total(), 1u);
+  EXPECT_GE(single.quantile(0.001), 1.0);
+  EXPECT_EQ(single.quantile(0.001), single.quantile(1.0))
+      << "one sample: every quantile is that sample's bin edge";
+
+  // Below 2^min_exponent: clamps into the underflow bin; totals balance and
+  // the quantile stays a finite, tiny edge.
+  TailHistogram tiny;
+  const double min_edge = std::ldexp(1.0, tiny.config().min_exponent);
+  tiny.record(min_edge / 1e6);
+  tiny.record(0.0);
+  tiny.record(-3.0);  // negative clamps to 0
+  EXPECT_EQ(tiny.total(), 3u);
+  EXPECT_GT(tiny.counts().front(), 0u);
+  EXPECT_LE(tiny.quantile(1.0), min_edge);
+
+  // Above 2^max_exponent: clamps into the overflow bin.
+  TailHistogram huge;
+  const double max_edge = std::ldexp(1.0, huge.config().max_exponent);
+  huge.record(max_edge * 1e6);
+  EXPECT_EQ(huge.total(), 1u);
+  EXPECT_GT(huge.counts().back(), 0u);
+  EXPECT_GE(huge.quantile(0.5), max_edge);
+}
+
+TEST(TailHistogramEdge, MergeOfEmptyIsIdentity) {
+  TailHistogram filled;
+  filled.record(1.0);
+  filled.record(2.0);
+  const std::vector<std::uint64_t> before = filled.counts();
+
+  TailHistogram empty;
+  filled.merge(empty);
+  EXPECT_EQ(filled.counts(), before);
+  EXPECT_EQ(filled.total(), 2u);
+
+  TailHistogram other;
+  other.merge(filled);
+  EXPECT_EQ(other.counts(), before);
+}
+
+TEST(Exposition, TailHistogramRendersCumulativeBuckets) {
+  TailHistogram hist;
+  for (int i = 0; i < 3; ++i) hist.record(1.0);
+  hist.record(8.0);
+  std::string out;
+  append_prometheus_tail_histogram(out, "des.sojourn", hist);
+  EXPECT_NE(out.find("# TYPE coca_des_sojourn histogram\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("coca_des_sojourn_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("coca_des_sojourn_count 4\n"), std::string::npos);
+  // Buckets are cumulative: the 1.0-bin line carries 3, the 8.0-bin 4.
+  std::istringstream lines(out);
+  std::string line;
+  std::vector<std::string> buckets;
+  while (std::getline(lines, line)) {
+    if (line.find("_bucket") != std::string::npos) buckets.push_back(line);
+  }
+  ASSERT_EQ(buckets.size(), 3u);  // 1.0-bin, 8.0-bin, +Inf
+  EXPECT_EQ(buckets[0].back(), '3');
+  EXPECT_EQ(buckets[1].back(), '4');
+}
+
+TEST(Exposition, ExporterHonorsCadenceAndRewritesWholeFile) {
+  const std::string path = "exporter_test_out.prom";
+  Exporter::Options options;
+  options.path = path;
+  options.cadence_slots = 4;
+  Exporter exporter(options);
+
+  Registry registry;
+  registry.counter("sim.slots").add(1);
+  for (std::size_t t = 0; t < 9; ++t) exporter.on_slot(t, registry);
+  EXPECT_EQ(exporter.writes(), 3) << "t = 0, 4, 8";
+
+  registry.counter("sim.slots").add(41);
+  exporter.write_now(registry);
+  EXPECT_EQ(exporter.writes(), 4);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), exporter.last_text());
+  EXPECT_NE(content.str().find("coca_sim_slots_total 42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- ShardRunner registry aggregation -------------------------------------
+
+des::ShardReplayResult replay_layout(const dc::Fleet& fleet,
+                                     std::size_t shards, std::size_t threads) {
+  // A small synthetic decision sequence exercising speed and load changes.
+  std::vector<dc::Allocation> decisions;
+  for (std::size_t t = 0; t < 5; ++t) {
+    dc::Allocation alloc(fleet.group_count());
+    for (std::size_t g = 0; g < fleet.group_count(); ++g) {
+      const auto& spec = fleet.group(g).spec();
+      const std::size_t level = (t + g) % spec.level_count();
+      const double active = static_cast<double>(3 + g);
+      alloc[g] = {level, active,
+                  0.4 * spec.level(level).service_rate * active};
+    }
+    decisions.push_back(std::move(alloc));
+  }
+  des::ShardReplayConfig config;
+  config.seconds_per_slot = 30.0;
+  config.shards = shards;
+  config.threads = threads;
+  config.shard_registries = true;
+  des::ShardRunner runner(fleet, config);
+  return runner.replay(decisions);
+}
+
+TEST(Exposition, ShardRegistriesMergeInvariantAcrossLayout) {
+  const dc::Fleet fleet = dc::make_homogeneous_fleet(5, 10);
+  const auto reference = replay_layout(fleet, 1, 1);
+  ASSERT_EQ(reference.shard_registry_snapshots.size(), 1u);
+  const std::string reference_text = to_prometheus_text(reference.registry);
+  EXPECT_FALSE(reference.registry.empty());
+
+  for (const auto& [shards, threads] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 2}, {4, 1}, {4, 3}, {5, 2}}) {
+    const auto result = replay_layout(fleet, shards, threads);
+    EXPECT_EQ(result.shard_registry_snapshots.size(), shards);
+    EXPECT_EQ(to_prometheus_text(result.registry), reference_text)
+        << shards << " shards / " << threads << " threads drifted";
+  }
+}
+
+TEST(Exposition, ShardRegistriesKeepGroupKeysDisjoint) {
+  const dc::Fleet fleet = dc::make_homogeneous_fleet(5, 10);
+  const auto result = replay_layout(fleet, 3, 2);
+  std::map<std::string, int> owners;
+  for (const auto& snap : result.shard_registry_snapshots) {
+    for (const auto& [name, value] : snap.counters) ++owners[name];
+  }
+  EXPECT_EQ(owners.size(), fleet.group_count());
+  for (const auto& [name, count] : owners) {
+    EXPECT_EQ(count, 1) << name << " recorded by more than one shard";
+  }
+  // Counter merge = add; with disjoint names the merged count per group is
+  // exactly the slot count.
+  for (const auto& [name, value] : result.registry.counters) {
+    EXPECT_EQ(value, 5) << name;
+  }
+}
+
+TEST(Exposition, ShardRegistrySnapshotsWithoutOptInStayEmpty) {
+  const dc::Fleet fleet = dc::make_homogeneous_fleet(3, 4);
+  std::vector<dc::Allocation> decisions(2, dc::Allocation(fleet.group_count()));
+  for (auto& alloc : decisions) {
+    for (std::size_t g = 0; g < fleet.group_count(); ++g) {
+      alloc[g] = {0, 2.0, 1.0};
+    }
+  }
+  des::ShardReplayConfig config;
+  config.shards = 2;
+  des::ShardRunner runner(fleet, config);
+  const auto result = runner.replay(decisions);
+  EXPECT_TRUE(result.shard_registry_snapshots.empty());
+  EXPECT_TRUE(result.registry.empty());
+}
+
+}  // namespace
+}  // namespace coca::obs

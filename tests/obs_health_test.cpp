@@ -1,0 +1,385 @@
+// Contract tests for the runtime health plane (obs/health.hpp):
+//   * the Theorem 2(a) deterministic queue bound formula and its monotonicity,
+//   * every watchdog rule firing on a synthetic violation — and staying
+//     quiet just under its threshold,
+//   * fault-aware suppression: the same violation labels `expected` at info
+//     level when the slot is fault-perturbed,
+//   * coca-health-v1 rendering (fixed key order, value_ms routing for timing
+//     rules, mask_timing_fields interaction),
+//   * pass-through: attaching a monitor to a simulation changes nothing in
+//     the billed metrics or the masked trace,
+//   * a clean run under sim::default_health_config raises zero warn/critical.
+
+#include "obs/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/coca_controller.hpp"
+#include "obs/trace.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace coca::obs {
+namespace {
+
+SlotTrace make_slot(std::size_t t) {
+  SlotTrace slot;
+  slot.t = t;
+  slot.lambda = 100.0;
+  slot.q = 0.0;
+  slot.v = 10.0;
+  slot.total_cost = 50.0;
+  slot.solve_ms = 1.0;
+  return slot;
+}
+
+/// Feed `monitor` enough constant slots to pass the EWMA warmup.
+void warm_up(HealthMonitor& monitor, std::size_t slots) {
+  for (std::size_t t = 0; t < slots; ++t) monitor.on_slot(make_slot(t));
+}
+
+TEST(DeterministicQueueBound, MatchesClosedForm) {
+  QueueBoundParams params;
+  params.max_increment_kwh = 3.0;
+  params.max_slot_cost = 7.0;
+  const double v = 10.0;
+  // q(T) <= sqrt(2*T*(b^2/2 + V*g)), T = t+1.
+  for (const std::size_t t : {std::size_t{0}, std::size_t{9}, std::size_t{99}}) {
+    const double expected =
+        std::sqrt(2.0 * static_cast<double>(t + 1) * (0.5 * 9.0 + v * 7.0));
+    EXPECT_DOUBLE_EQ(deterministic_queue_bound(v, t, params), expected);
+  }
+}
+
+TEST(DeterministicQueueBound, MonotoneInTimeAndV) {
+  QueueBoundParams params;
+  params.max_increment_kwh = 2.0;
+  params.max_slot_cost = 5.0;
+  EXPECT_LT(deterministic_queue_bound(10.0, 5, params),
+            deterministic_queue_bound(10.0, 6, params));
+  EXPECT_LT(deterministic_queue_bound(10.0, 5, params),
+            deterministic_queue_bound(20.0, 5, params));
+}
+
+TEST(HealthMonitor, QueueBoundWarnsThenCriticals) {
+  HealthConfig config;
+  config.queue_bound.max_increment_kwh = 1.0;
+  config.queue_bound.max_slot_cost = 0.0;
+  // bound(t=0) = sqrt(2*1*(0.5)) = 1; warn at 0.9.
+  HealthMonitor monitor(config);
+
+  SlotTrace ok = make_slot(0);
+  ok.v = 0.0;
+  ok.q = 0.5;
+  monitor.on_slot(ok);
+  EXPECT_EQ(monitor.stats().total(), 0);
+
+  SlotTrace warn = make_slot(0);
+  warn.v = 0.0;
+  warn.q = 0.95;
+  monitor.on_slot(warn);
+  ASSERT_EQ(monitor.events().size(), 1u);
+  EXPECT_EQ(monitor.events().back().rule, "queue_bound");
+  EXPECT_EQ(monitor.events().back().level, HealthLevel::kWarn);
+
+  SlotTrace critical = make_slot(0);
+  critical.v = 0.0;
+  critical.q = 1.5;
+  monitor.on_slot(critical);
+  ASSERT_EQ(monitor.events().size(), 2u);
+  EXPECT_EQ(monitor.events().back().level, HealthLevel::kCritical);
+  EXPECT_DOUBLE_EQ(monitor.events().back().value, 1.5);
+  EXPECT_DOUBLE_EQ(monitor.events().back().limit, 1.0);
+  EXPECT_EQ(monitor.stats().warn, 1);
+  EXPECT_EQ(monitor.stats().critical, 1);
+}
+
+TEST(HealthMonitor, NeutralityGapFiresAfterFullWindowAndRearms) {
+  HealthConfig config;
+  config.neutrality_zeta_kwh = 1.0;
+  config.neutrality_window = 4;
+  HealthMonitor monitor(config);
+
+  // gap = q - V*zeta grows for exactly the window length -> one warn.
+  for (std::size_t t = 0; t < 8; ++t) {
+    SlotTrace slot = make_slot(t);
+    slot.v = 1.0;
+    slot.q = 2.0 + static_cast<double>(t);  // gap 1, 2, 3, ...
+    monitor.on_slot(slot);
+  }
+  EXPECT_EQ(monitor.stats().by_rule.at("neutrality_gap"), 2)
+      << "8 consecutive growing slots = two completed windows of 4";
+  for (const HealthEvent& event : monitor.events()) {
+    EXPECT_EQ(event.level, HealthLevel::kWarn);
+  }
+
+  // A shrinking gap resets the streak: no further events.
+  SlotTrace shrink = make_slot(8);
+  shrink.v = 1.0;
+  shrink.q = 1.5;
+  monitor.on_slot(shrink);
+  EXPECT_EQ(monitor.stats().by_rule.at("neutrality_gap"), 2);
+}
+
+TEST(HealthMonitor, CostAnomalyFiresOnSpikeAfterWarmup) {
+  HealthConfig config;
+  config.cost_z_threshold = 10.0;
+  config.warmup_slots = 8;
+  HealthMonitor monitor(config);
+  warm_up(monitor, 16);
+  EXPECT_EQ(monitor.stats().total(), 0) << "constant cost never alerts";
+
+  SlotTrace spike = make_slot(16);
+  spike.total_cost = 5'000.0;
+  monitor.on_slot(spike);
+  ASSERT_EQ(monitor.stats().by_rule.count("cost_anomaly"), 1u);
+  const HealthEvent& event = monitor.events().back();
+  EXPECT_EQ(event.rule, "cost_anomaly");
+  EXPECT_EQ(event.level, HealthLevel::kWarn);
+  EXPECT_FALSE(event.expected);
+  EXPECT_GT(event.value, config.cost_z_threshold);
+}
+
+TEST(HealthMonitor, CostAnomalyUnderFaultIsExpectedInfo) {
+  HealthConfig config;
+  config.cost_z_threshold = 10.0;
+  config.warmup_slots = 8;
+  HealthMonitor monitor(config);
+  warm_up(monitor, 16);
+
+  SlotTrace spike = make_slot(16);
+  spike.total_cost = 5'000.0;
+  spike.fault_active = true;
+  monitor.on_slot(spike);
+  // The fault-labeled slot also emits degraded_mode; find the cost event.
+  bool found = false;
+  for (const HealthEvent& event : monitor.events()) {
+    if (event.rule != "cost_anomaly") continue;
+    found = true;
+    EXPECT_EQ(event.level, HealthLevel::kInfo);
+    EXPECT_TRUE(event.expected);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(monitor.stats().warn, 0);
+}
+
+TEST(HealthMonitor, SolveTimeAnomalyIsTimingInfoAndMasks) {
+  HealthConfig config;
+  config.solve_z_threshold = 8.0;
+  config.warmup_slots = 8;
+  SlotTraceWriter sink;
+  HealthMonitor monitor(config, &sink);
+  warm_up(monitor, 16);
+
+  SlotTrace spike = make_slot(16);
+  spike.solve_ms = 10'000.0;
+  monitor.on_slot(spike);
+  ASSERT_EQ(monitor.stats().by_rule.count("solve_time_anomaly"), 1u);
+  const HealthEvent& event = monitor.events().back();
+  EXPECT_EQ(event.level, HealthLevel::kInfo);
+  EXPECT_TRUE(event.timing);
+
+  // Renders through value_ms/limit_ms.  The timing mask drops the whole
+  // line: the rule fires off a wall-clock reading, so even its existence
+  // varies run to run and must not reach masked comparisons.
+  ASSERT_EQ(sink.lines().size(), 1u);
+  EXPECT_NE(sink.lines()[0].find("\"value_ms\":"), std::string::npos);
+  EXPECT_EQ(mask_timing_fields(sink.lines()[0] + "\n"), "");
+
+  // A deterministic (non-timing) event on the same stream survives the
+  // mask with its values intact.
+  SlotHealthContext drops;
+  drops.trace_drops = 3;
+  monitor.on_slot(make_slot(17), drops);
+  ASSERT_EQ(sink.lines().size(), 2u);
+  const std::string masked =
+      mask_timing_fields(sink.lines()[0] + "\n" + sink.lines()[1] + "\n");
+  EXPECT_EQ(masked, sink.lines()[1] + "\n");
+}
+
+TEST(HealthMonitor, ShedRateCriticalWhenCleanExpectedWhenFaulted) {
+  HealthConfig config;
+  config.shed_rate_ceiling = 0.1;
+  HealthMonitor monitor(config);
+
+  SlotTrace clean = make_slot(0);
+  clean.shed_lambda = 50.0;  // rate 0.5 > 0.1
+  monitor.on_slot(clean);
+  ASSERT_EQ(monitor.events().size(), 1u);
+  EXPECT_EQ(monitor.events()[0].rule, "shed_rate");
+  EXPECT_EQ(monitor.events()[0].level, HealthLevel::kCritical);
+  EXPECT_FALSE(monitor.events()[0].expected);
+
+  SlotTrace faulted = make_slot(1);
+  faulted.shed_lambda = 50.0;
+  faulted.fault_active = true;
+  monitor.on_slot(faulted);
+  bool found = false;
+  for (const HealthEvent& event : monitor.events()) {
+    if (event.t != 1 || event.rule != "shed_rate") continue;
+    found = true;
+    EXPECT_EQ(event.level, HealthLevel::kInfo);
+    EXPECT_TRUE(event.expected);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HealthMonitor, TraceDropAndCheckpointStalenessRules) {
+  HealthConfig config;
+  config.drop_ceiling = 0.0;
+  config.checkpoint_staleness_limit = 10;
+  HealthMonitor monitor(config);
+
+  SlotHealthContext quiet;  // no drops, checkpointing inactive (-1)
+  monitor.on_slot(make_slot(0), quiet);
+  EXPECT_EQ(monitor.stats().total(), 0);
+
+  SlotHealthContext drops;
+  drops.trace_drops = 3;
+  monitor.on_slot(make_slot(1), drops);
+  ASSERT_EQ(monitor.events().size(), 1u);
+  EXPECT_EQ(monitor.events()[0].rule, "trace_drop");
+  EXPECT_EQ(monitor.events()[0].level, HealthLevel::kWarn);
+  EXPECT_DOUBLE_EQ(monitor.events()[0].value, 3.0);
+
+  SlotHealthContext stale;
+  stale.slots_since_checkpoint = 11;
+  monitor.on_slot(make_slot(2), stale);
+  EXPECT_EQ(monitor.events().back().rule, "checkpoint_staleness");
+  SlotHealthContext fresh;
+  fresh.slots_since_checkpoint = 10;  // at the limit: not over it
+  monitor.on_slot(make_slot(3), fresh);
+  EXPECT_EQ(monitor.stats().by_rule.at("checkpoint_staleness"), 1);
+}
+
+TEST(HealthMonitor, DegradedModeLabelsEveryFaultedSlot) {
+  HealthMonitor monitor({});
+  SlotTrace slot = make_slot(0);
+  slot.fault_active = true;
+  slot.fallback = true;
+  slot.stale_inputs = 2;
+  monitor.on_slot(slot);
+  ASSERT_EQ(monitor.events().size(), 1u);
+  const HealthEvent& event = monitor.events()[0];
+  EXPECT_EQ(event.rule, "degraded_mode");
+  EXPECT_EQ(event.level, HealthLevel::kInfo);
+  EXPECT_TRUE(event.expected);
+  EXPECT_DOUBLE_EQ(event.value, 2.0);
+  EXPECT_EQ(event.detail, "deadline fallback actuated");
+}
+
+TEST(HealthEventJson, FixedKeyOrderAndEscaping) {
+  HealthEvent event;
+  event.t = 42;
+  event.rule = "queue_bound";
+  event.level = HealthLevel::kCritical;
+  event.value = 1.5;
+  event.limit = 1.0;
+  event.detail = "over";
+  EXPECT_EQ(to_json_line(event),
+            "{\"t\":42,\"rule\":\"queue_bound\",\"level\":\"critical\","
+            "\"value\":1.5,\"limit\":1,\"expected\":false,\"detail\":\"over\"}");
+
+  HealthEvent timing;
+  timing.t = 7;
+  timing.rule = "solve_time_anomaly";
+  timing.level = HealthLevel::kInfo;
+  timing.value = 12.5;
+  timing.limit = 1.25;
+  timing.timing = true;
+  timing.expected = false;
+  EXPECT_EQ(to_json_line(timing),
+            "{\"t\":7,\"rule\":\"solve_time_anomaly\",\"level\":\"info\","
+            "\"value_ms\":12.5,\"limit_ms\":1.25,\"expected\":false}");
+}
+
+TEST(HealthMonitor, EventsFlowThroughSinkInEmissionOrder) {
+  HealthConfig config;
+  config.queue_bound.max_increment_kwh = 1.0;
+  SlotTraceWriter sink;
+  HealthMonitor monitor(config, &sink);
+  SlotTrace bad = make_slot(0);
+  bad.v = 0.0;
+  bad.q = 10.0;
+  bad.fault_active = true;  // queue_bound critical + degraded_mode info
+  monitor.on_slot(bad);
+  ASSERT_EQ(sink.lines().size(), 2u);
+  EXPECT_EQ(sink.lines()[0], to_json_line(monitor.events()[0]));
+  EXPECT_EQ(sink.lines()[1], to_json_line(monitor.events()[1]));
+}
+
+// --- Simulation-level contracts -------------------------------------------
+
+sim::Scenario tiny_scenario() {
+  sim::ScenarioConfig config;
+  config.hours = 96;
+  config.fleet.group_count = 4;
+  config.fleet.total_servers = 2'000;
+  config.peak_rate = 10'000.0;  // loaded enough that the deficit queue moves
+  return sim::build_scenario(config);
+}
+
+sim::SimResult run_with(const sim::Scenario& scenario, obs::TraceSink* trace,
+                        obs::HealthMonitor* health) {
+  core::CocaConfig config;
+  config.weights = scenario.weights;
+  config.schedule = core::VSchedule::constant(1e4);
+  config.alpha = scenario.budget.alpha();
+  config.rec_per_slot = scenario.budget.rec_per_slot();
+  core::CocaController controller(scenario.fleet, config);
+  sim::SimOptions options;
+  options.trace = trace;
+  options.health = health;
+  return sim::run_simulation(scenario.fleet, scenario.env, controller,
+                             scenario.weights, options);
+}
+
+TEST(HealthSim, MonitorIsPassThrough) {
+  const sim::Scenario scenario = tiny_scenario();
+
+  SlotTraceWriter trace_without;
+  const sim::SimResult without = run_with(scenario, &trace_without, nullptr);
+
+  SlotTraceWriter trace_with;
+  HealthMonitor monitor(sim::default_health_config(scenario), &trace_with);
+  const sim::SimResult with = run_with(scenario, &trace_with, &monitor);
+
+  EXPECT_EQ(with.metrics.total_cost(), without.metrics.total_cost());
+  EXPECT_EQ(with.metrics.total_brown_kwh(), without.metrics.total_brown_kwh());
+  EXPECT_EQ(with.infeasible_slots, without.infeasible_slots);
+  // Slot records themselves are untouched (health events ride as extra
+  // lines, never as mutations of the per-slot stream).
+  ASSERT_EQ(trace_with.slots().size(), trace_without.slots().size());
+  std::string with_slots, without_slots;
+  for (std::size_t i = 0; i < trace_with.slots().size(); ++i) {
+    with_slots += to_json_line(trace_with.slots()[i]) + "\n";
+    without_slots += to_json_line(trace_without.slots()[i]) + "\n";
+  }
+  EXPECT_EQ(mask_timing_fields(with_slots), mask_timing_fields(without_slots));
+}
+
+TEST(HealthSim, CleanRunRaisesNoWarnOrCritical) {
+  const sim::Scenario scenario = tiny_scenario();
+  HealthMonitor monitor(sim::default_health_config(scenario));
+  run_with(scenario, nullptr, &monitor);
+  EXPECT_EQ(monitor.stats().warn, 0);
+  EXPECT_EQ(monitor.stats().critical, 0);
+}
+
+TEST(HealthSim, ShrunkenEnvelopeRaisesQueueBoundAlerts) {
+  const sim::Scenario scenario = tiny_scenario();
+  HealthConfig config = sim::default_health_config(scenario);
+  // Misconfigure the envelope to near-zero: the real queue must breach it.
+  config.queue_bound.max_increment_kwh = 1e-3;
+  config.queue_bound.max_slot_cost = 1e-6;
+  HealthMonitor monitor(config);
+  run_with(scenario, nullptr, &monitor);
+  EXPECT_GT(monitor.stats().by_rule.count("queue_bound"), 0u);
+}
+
+}  // namespace
+}  // namespace coca::obs

@@ -45,9 +45,11 @@ Checks (run `--list-checks` for the one-liners):
 
   obs-hygiene      (a) Public solver/controller entry points — definitions
                    of solve/solve_chain/solve_batch/plan/observe/
-                   run_simulation under src/opt, src/core, src/sim — must
-                   open an obs::ScopedSpan or carry an `// OBS-EXEMPT(why)`
-                   waiver, so the span profile keeps attributing slot time.
+                   run_simulation/on_slot under src/opt, src/core, src/sim,
+                   src/des, src/obs (the health plane's per-slot hooks) —
+                   must open an obs::ScopedSpan or carry an
+                   `// OBS-EXEMPT(why)` waiver, so the span profile keeps
+                   attributing slot time.
                    (b) `#include <chrono>` is confined to src/obs/clock.hpp:
                    all timing flows through obs::now_ns().
 
@@ -725,8 +727,9 @@ def check_lock_discipline(files: list[SourceFile]) -> list[Finding]:
 # Check: obs-hygiene
 
 ENTRY_POINT_NAMES = {"solve", "solve_chain", "solve_batch", "plan", "observe",
-                     "run_simulation", "replay"}
-ENTRY_POINT_DIRS = ("src/opt/", "src/core/", "src/sim/", "src/des/")
+                     "run_simulation", "replay", "on_slot"}
+ENTRY_POINT_DIRS = ("src/opt/", "src/core/", "src/sim/", "src/des/",
+                    "src/obs/")
 OBS_EXEMPT = re.compile(r"OBS-EXEMPT\(([^)]+)\)")
 CHRONO_BOUNDARY = "src/obs/clock.hpp"
 
@@ -908,7 +911,7 @@ CHECKS = {
     "determinism": "nondeterministic sources banned in src/ (rand, clocks, random_device, unseeded engines)",
     "units-escape": ".value() escape hatches carry // UNITS: tags or an allowlisted solver-math boundary",
     "lock-discipline": "GUARDED_BY fields only touched under the named mutex (conservative, function-local)",
-    "obs-hygiene": "solver/controller entry points open spans; <chrono> confined to obs/clock.hpp",
+    "obs-hygiene": "solver/controller/health-plane entry points open spans; <chrono> confined to obs/clock.hpp",
     "fault-hooks": "fault::Injector hook sites open spans or carry // OBS-EXEMPT waivers",
     "header-hygiene": "#pragma once everywhere; <random>/<iostream> confined to their boundaries",
 }
@@ -1151,6 +1154,25 @@ _FIXTURES: list[tuple[str, dict[str, str], str | None, list[str]]] = [
             "src/opt/s.cpp": "struct R {};\n"
             "// OBS-EXEMPT(fixture: span opened at the call site)\n"
             "R Solver::solve(int v) {\n  return R{};\n}\n"
+        },
+        None,
+        [],
+    ),
+    (
+        "obs-health-on-slot-no-span",
+        {
+            "src/obs/h.cpp": "struct S {};\n"
+            "void HealthMonitor::on_slot(const S& slot) {\n  (void)slot;\n}\n"
+        },
+        None,
+        ["obs-hygiene"],
+    ),
+    (
+        "obs-health-on-slot-span",
+        {
+            "src/obs/h.cpp": "struct S {};\n"
+            "void HealthMonitor::on_slot(const S& slot) {\n"
+            '  const ScopedSpan span("health_check");\n  (void)slot;\n}\n'
         },
         None,
         [],

@@ -22,9 +22,9 @@ OUTPUT_DIR="${2:-bench/golden}"
 
 # The cheap, fully deterministic subset: each completes in seconds at the
 # pinned knobs (the figure benches all honour COCA_BENCH_HOURS/GROUPS, so
-# paper-scale granularity stays opt-in).  Benches left out of the golden
-# loop (abl_gsd, ...) are still schema-validated by bench_json_check in
-# CI's obs-smoke job.
+# paper-scale granularity stays opt-in).  Every bench binary is in the
+# golden loop; perf_micro (below) is special-cased to skip the
+# google-benchmark table.
 BENCHES=(
   fig1_traces
   fig2_impact_of_v
@@ -37,6 +37,11 @@ BENCHES=(
   abl_portfolio
   abl_recs
   abl_gamma
+  abl_gsd
+  abl_lookahead
+  abl_prediction
+  abl_extensions
+  abl_server_settings
   fig_des_tail
   fig_fault
 )
